@@ -1,0 +1,27 @@
+"""Figure 10: IXP presences vs route-server participations."""
+
+from repro.analysis.policies import PolicyAnalysis
+
+
+def test_multi_ixp_matrix(scenario, benchmark):
+    analysis = PolicyAnalysis(scenario.graph, scenario.peeringdb)
+    ixp_names = list(scenario.ixps)
+
+    matrix = benchmark(analysis.multi_ixp_matrix, ixp_names)
+
+    print("\nFigure 10 — IXP presences vs RS participations")
+    print(f"  ASes counted: {matrix.total}")
+    print(f"  at one IXP and using its RS:     "
+          f"{matrix.fraction_single_ixp_with_rs():.1%} (paper: 55.8%)")
+    print(f"  at IXP(s) but using no RS:       "
+          f"{matrix.fraction_no_rs():.1%} (paper: 13.4%)")
+    print(f"  multi-IXP, inconsistent RS use:  "
+          f"{matrix.fraction_inconsistent_multi_ixp():.1%} (paper: 7.9%)")
+    cells = sorted(matrix.cells.items())
+    print("  matrix cells (ixp presences, rs participations) -> ASes:")
+    for (presences, rs_count), count in cells[:12]:
+        print(f"    ({presences}, {rs_count}): {count}")
+
+    assert matrix.total > 0
+    assert matrix.fraction_single_ixp_with_rs() > 0.25
+    assert 0.0 < matrix.fraction_no_rs() < 0.6

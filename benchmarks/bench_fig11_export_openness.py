@@ -1,0 +1,28 @@
+"""Figure 11: export openness (fraction of members allowed) by policy."""
+
+from repro.analysis.policies import PolicyAnalysis
+
+
+def test_export_openness(scenario, inference, benchmark):
+    analysis = PolicyAnalysis(scenario.graph, scenario.peeringdb)
+    reachabilities = {name: inf.reachabilities
+                      for name, inf in inference.per_ixp.items()}
+    members = {name: scenario.graph.rs_members_of_ixp(name)
+               for name in inference.per_ixp}
+
+    openness = benchmark(analysis.export_openness_by_policy,
+                         reachabilities, members)
+
+    means = PolicyAnalysis.mean_openness(openness)
+    binary = PolicyAnalysis.binary_pattern_fraction(openness)
+    print("\nFigure 11 — fraction of RS members allowed to receive routes")
+    for policy, mean in sorted(means.items()):
+        count = len(openness[policy])
+        print(f"  {policy:<12} mean={mean:.1%} over {count} (member, IXP) pairs")
+    print("  (paper: open 96.7%, selective 80.4%, restrictive 69.2%)")
+    print(f"  binary pattern (<=10% or >=90% allowed): {binary:.1%}")
+
+    assert openness
+    if "open" in means and "restrictive" in means:
+        assert means["open"] > means["restrictive"]
+    assert binary > 0.6

@@ -1,0 +1,39 @@
+"""Figure 13 / section 5.5: repellers — members blocked by EXCLUDE communities."""
+
+from repro.analysis.repellers import RepellerAnalysis
+from repro.topology.customer_cone import customer_cone
+
+
+def test_repellers(scenario, inference, benchmark):
+    graph = scenario.graph
+    analysis = RepellerAnalysis(
+        customer_cone=lambda asn: customer_cone(graph, asn),
+        direct_customers=lambda asn: set(graph.customers(asn)))
+    reachabilities = {name: inf.reachabilities
+                      for name, inf in inference.per_ixp.items()}
+    members = {name: graph.rs_members_of_ixp(name) for name in inference.per_ixp}
+
+    report = benchmark(analysis.analyse, reachabilities, members)
+
+    print("\nFigure 13 / section 5.5 — repellers")
+    print(f"  EXCLUDE applications observed:    {report.total_exclusions} "
+          f"(paper: 1,795)")
+    print(f"  members blocked at least once:    {report.num_repellers} "
+          f"(paper: 570 of 1,363)")
+    print(f"  blocked AS in blocker's cone:     "
+          f"{report.fraction_customer_cone():.1%} (paper: 77%)")
+    print(f"  provider blocking a customer:     "
+          f"{report.fraction_provider_blocks_customer():.1%} (paper: 12%)")
+    hypergiants = set(scenario.internet.hypergiants)
+    print("  top repellers (ASN, times blocked, hypergiant?):")
+    for asn, count in report.top_repellers(8):
+        print(f"    AS{asn:<8} {count:>4}  {'yes' if asn in hypergiants else 'no'}")
+    scoped = report.by_geographic_scope(scenario.peeringdb)
+    for scope, frequencies in sorted(scoped.items()):
+        top = frequencies[0] if frequencies else 0
+        print(f"  scope {scope:<10} repellers={len(frequencies):>4} max-blocked={top}")
+
+    assert report.total_exclusions > 0
+    assert report.num_repellers > 0
+    top_asns = {asn for asn, _ in report.top_repellers(10)}
+    assert top_asns & hypergiants

@@ -1,0 +1,29 @@
+"""Figure 1: bilateral n(n-1)/2 vs multilateral c*n session scaling."""
+
+from repro.bgp.session import bilateral_session_count, multilateral_session_count
+
+
+def test_session_scaling(scenario, benchmark):
+    def compute():
+        rows = []
+        for name, ixp in scenario.ixps.items():
+            counts = ixp.session_counts()
+            rows.append((name, counts["members"], counts["bilateral_sessions"],
+                         counts["multilateral_sessions"]))
+        return rows
+
+    rows = benchmark(compute)
+    print("\nFigure 1 — sessions needed for a full mesh at each IXP")
+    print(f"  {'IXP':<10} {'members':>8} {'bilateral':>10} {'multilateral':>13}")
+    for name, members, bilateral, multilateral in sorted(rows, key=lambda r: -r[1]):
+        print(f"  {name:<10} {members:>8} {bilateral:>10} {multilateral:>13}")
+    for _, members, bilateral, multilateral in rows:
+        assert bilateral == members * (members - 1) // 2
+        assert multilateral == members
+        if members > 3:
+            assert multilateral < bilateral
+
+
+def test_paper_example_six_ases():
+    assert bilateral_session_count(6) == 15
+    assert multilateral_session_count(6, 2) == 12

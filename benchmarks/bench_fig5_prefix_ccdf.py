@@ -1,0 +1,21 @@
+"""Figure 5: CCDF of the number of RS members advertising a prefix (DE-CIX)."""
+
+from repro.analysis.prefix_stats import prefix_stats_for_route_server
+
+
+def test_prefix_multiplicity_ccdf(scenario, benchmark):
+    route_server = scenario.route_servers["DE-CIX"]
+
+    stats = benchmark(prefix_stats_for_route_server, route_server)
+
+    ccdf = stats.ccdf(max_members=10)
+    print("\nFigure 5 — CCDF of members advertising a prefix to the DE-CIX RS")
+    for k, fraction in ccdf:
+        print(f"  >{k:>2} members: {fraction:.3f}")
+    print(f"  fraction of prefixes announced by more than one member: "
+          f"{stats.fraction_multi_member():.3f}  (paper: 0.484)")
+
+    values = [fraction for _, fraction in ccdf]
+    assert values[0] == 1.0
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert stats.fraction_multi_member() > 0.05

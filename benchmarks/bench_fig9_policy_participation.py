@@ -1,0 +1,23 @@
+"""Figure 9: route-server participation by self-reported peering policy."""
+
+from repro.analysis.policies import PolicyAnalysis
+
+
+def test_participation_by_policy(scenario, benchmark):
+    analysis = PolicyAnalysis(scenario.graph, scenario.peeringdb)
+    ixp_names = list(scenario.ixps)
+
+    participation = benchmark(analysis.participation_by_policy, ixp_names)
+
+    print("\nFigure 9 — RS participation by self-reported peering policy")
+    print(f"  {'policy':<12} {'on a RS':>8} {'not on RS':>10} {'rate':>7}")
+    for row in participation.as_rows():
+        print(f"  {row['policy']:<12} {row['participates']:>8} "
+              f"{row['does_not']:>10} {row['rate']:>6.1%}")
+    print("  (paper: open 92%, selective 75%, restrictive 43%)")
+
+    rates = {row["policy"]: row["rate"] for row in participation.as_rows()}
+    if "open" in rates and "selective" in rates:
+        assert rates["open"] >= rates["selective"]
+    if "selective" in rates and "restrictive" in rates:
+        assert rates["selective"] >= rates["restrictive"]

@@ -1,0 +1,22 @@
+"""Section 4.4: reciprocity of IRR import/export filters (AMS-IX members)."""
+
+from repro.core.reciprocity import ReciprocityValidator
+
+
+def test_reciprocity_validation(scenario, benchmark):
+    members = scenario.graph.rs_members_of_ixp("AMS-IX")
+    validator = ReciprocityValidator(scenario.irr)
+
+    report = benchmark(validator.validate, "AMS-IX", members)
+
+    summary = report.summary()
+    print("\nSection 4.4 — reciprocity of import/export filters (AMS-IX)")
+    print(f"  members with IRR filters checked: {summary['members_checked']} "
+          f"(paper: 230)")
+    print(f"  members whose import filter blocks an AS not blocked on export: "
+          f"{summary['violations']} (paper: 0)")
+    print(f"  fraction with import more permissive than export: "
+          f"{summary['import_more_permissive']:.2f} (paper: ~0.5)")
+
+    assert report.members_checked > 0
+    assert report.holds

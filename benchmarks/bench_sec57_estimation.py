@@ -1,0 +1,58 @@
+"""Section 5.7: global estimation of IXP peering links."""
+
+from repro.analysis.estimation import GlobalEstimator, IXPEstimate
+
+
+def _estimates(scenario):
+    estimates = []
+    for spec in scenario.internet.ixp_specs:
+        ixp = scenario.ixps[spec.name]
+        estimates.append(IXPEstimate(
+            name=spec.name,
+            members=len(ixp.members),
+            region="europe",
+            pricing=spec.pricing,
+            has_route_server=True,
+            member_asns=set(ixp.members),
+        ))
+    # Add the non-European IXPs of the paper's global extrapolation as
+    # synthetic entries without member lists (14 NA + 11 Asia/Pacific + 2),
+    # scaled consistently with the scenario's member scale.
+    scale = scenario.config.generator.ixp_member_scale
+    def scaled(members):
+        return max(10, int(members * scale))
+    for index in range(14):
+        estimates.append(IXPEstimate(name=f"NA-{index}", members=scaled(120),
+                                     region="north-america"))
+    for index in range(11):
+        estimates.append(IXPEstimate(name=f"AP-{index}", members=scaled(90),
+                                     region="asia-pacific"))
+    estimates.append(IXPEstimate(name="LATAM-0", members=scaled(60), region="latam"))
+    estimates.append(IXPEstimate(name="AF-0", members=scaled(55), region="africa"))
+    return estimates
+
+
+def test_global_estimation(scenario, benchmark):
+    def run():
+        base = GlobalEstimator().estimate(_estimates(scenario))
+        conservative = GlobalEstimator(density_cap=0.60).estimate(
+            _estimates(scenario))
+        return base, conservative
+
+    base, conservative = benchmark(run)
+
+    print("\nSection 5.7 — global IXP peering estimation")
+    print(f"  IXPs considered: {len(base.estimates)}")
+    print(f"  estimated IXP peerings:        {base.total_ixp_peerings}")
+    print(f"  estimated unique AS peerings:  {base.unique_peerings}")
+    print(f"  conservative (60% cap):        {conservative.total_ixp_peerings} / "
+          f"{conservative.unique_peerings}")
+    by_region = base.by_region()
+    for region, count in sorted(by_region.items()):
+        print(f"    {region:<15} {count}")
+    print("  (paper: 686K global IXP peerings, 511K unique; conservative "
+          "596K / 422K)")
+
+    assert base.total_ixp_peerings > base.unique_peerings > 0
+    assert conservative.total_ixp_peerings <= base.total_ixp_peerings
+    assert by_region["europe"] > by_region["north-america"] / 4

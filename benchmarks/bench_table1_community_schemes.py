@@ -1,0 +1,36 @@
+"""Table 1: per-IXP route-server community grammars.
+
+Regenerates the Table 1 rows from the scheme registry and benchmarks the
+encode + classify round-trip that every inference step depends on.
+"""
+
+from repro.ixp.community_schemes import RSAction
+
+
+def test_table1_rows(scenario, benchmark):
+    registry = scenario.schemes
+
+    def render_table1():
+        return registry.table1()
+
+    rows = benchmark(render_table1)
+    assert len(rows) == 13
+    print("\nTable 1 — RS community grammars")
+    for row in rows:
+        print(f"  {row['IXP']:<10} RS-ASN={row['RS-ASN']:<6} ALL={row['ALL']:<12} "
+              f"EXCLUDE={row['EXCLUDE']:<16} NONE={row['NONE']:<12} "
+              f"INCLUDE={row['INCLUDE']}")
+
+
+def test_encode_classify_roundtrip(scenario, benchmark):
+    scheme = scenario.schemes.get("DE-CIX")
+    members = scenario.graph.rs_members_of_ixp("DE-CIX")
+    excluded = [asn for asn in members if asn < 65536][:5]
+
+    def roundtrip():
+        communities = scheme.encode_policy("all-except", excluded)
+        classified = scheme.classify_set(communities)
+        return {c.peer_asn for _, c in classified if c.action is RSAction.EXCLUDE}
+
+    decoded = benchmark(roundtrip)
+    assert decoded == set(excluded)

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures: one scenario + inference reused by all benches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.europe2013 import ScenarioConfig, build_europe2013
+from repro.topology.generator import GeneratorConfig
+
+
+def benchmark_scenario_config(seed: int = 20130501) -> ScenarioConfig:
+    """The scenario used by the benchmark suite (between small and medium)."""
+    return ScenarioConfig(
+        generator=GeneratorConfig(seed=seed, scale=0.18, ixp_member_scale=0.16),
+        seed=seed + 1,
+        num_validation_lgs=40,
+        num_traceroute_monitors=15,
+    )
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The synthetic Europe-2013 measurement scenario."""
+    return build_europe2013(benchmark_scenario_config())
+
+
+@pytest.fixture(scope="session")
+def inference(scenario):
+    """Full passive+active inference over the scenario."""
+    return scenario.run_inference()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: infer multilateral peering links at a toy IXP.
+
+Builds a four-member route server by hand (the figure 3 example of the
+paper), queries its looking glass, runs the active inference steps and
+prints the inferred p2p links.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.bgp.prefix import Prefix
+from repro.core.active import ActiveInference
+from repro.core.communities import RSCommunityInterpreter
+from repro.core.reachability import infer_links, merge_observations
+from repro.ixp.community_schemes import CommunityScheme, SchemeRegistry
+from repro.ixp.looking_glass import RouteServerLookingGlass
+from repro.ixp.member import MemberExportPolicy
+from repro.ixp.route_server import RouteServer
+
+
+def main() -> None:
+    # 1. The IXP's documented community grammar (Table 1, DE-CIX style).
+    scheme = CommunityScheme.rs_asn_style("DE-CIX", rs_asn=6695)
+    registry = SchemeRegistry([scheme])
+
+    # 2. A route server with four members: A excludes C, everyone else is open.
+    a, b, c, d = 64496, 64497, 64498, 64499
+    route_server = RouteServer("DE-CIX", rs_asn=6695, scheme=scheme)
+    route_server.add_member(a, MemberExportPolicy.all_except(a, "DE-CIX", {c}))
+    route_server.add_member(b, MemberExportPolicy.announce_to_all(b, "DE-CIX"))
+    route_server.add_member(c, MemberExportPolicy.announce_to_all(c, "DE-CIX"))
+    route_server.add_member(d, MemberExportPolicy.announce_to_all(d, "DE-CIX"))
+    for index, member in enumerate((a, b, c, d)):
+        route_server.announce(member, Prefix.parse(f"198.51.{index}.0/24"))
+
+    # 3. Drive the route-server looking glass through steps 1-3 of section 4.1.
+    looking_glass = RouteServerLookingGlass(route_server)
+    collection = ActiveInference(looking_glass).collect()
+    print(f"route-server members (A_RS): {sorted(collection.members)}")
+    print(f"looking-glass queries used:  {collection.total_queries}")
+
+    # 4. Interpret the communities and build each member's N_a (step 4).
+    interpreter = RSCommunityInterpreter(registry,
+                                         {"DE-CIX": collection.members},
+                                         mappers={"DE-CIX": route_server.mapper})
+    observations = collection.policy_observations(interpreter)
+    reachabilities = {}
+    for member in collection.members:
+        merged = merge_observations(
+            [o for o in observations if o.member_asn == member],
+            collection.members)
+        if merged is not None:
+            reachabilities[member] = merged
+            allowed = sorted(merged.allowed_members(collection.members))
+            print(f"  AS{member} ({merged.mode}) allows -> {allowed}")
+
+    # 5. Reciprocal ALLOW => p2p link (step 5).
+    links = infer_links(reachabilities, collection.members)
+    print(f"\ninferred multilateral peering links ({len(links)}):")
+    for left, right in sorted(links):
+        print(f"  AS{left} -- AS{right}")
+    print("\nnote: AS%d and AS%d have no link because A excludes C." % (a, c))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package can be installed in
+environments whose tooling predates PEP 660 editable installs
+(``python setup.py develop``); ``pip install -e .`` remains the
+recommended path.
+"""
+
+from setuptools import setup
+
+setup()

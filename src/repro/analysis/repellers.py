@@ -1,0 +1,106 @@
+"""Repeller analysis (section 5.5, figure 13).
+
+A *repeller* is an RS member blocked by other members' EXCLUDE
+communities.  The paper finds 570 of 1,363 members blocked at least once,
+that global networks are the most-blocked (more potential blockers), that
+77% of EXCLUDEs target an AS inside the blocker's customer cone or a
+content hypergiant reached over private peering, and that Google's AS is
+the single most blocked network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.reachability import MemberReachability
+from repro.registries.peeringdb import PeeringDB
+from repro.topology.as_graph import GeographicScope
+
+
+@dataclass
+class RepellerReport:
+    """Blocking statistics across all route servers."""
+
+    #: blocked ASN -> number of (blocker, IXP) pairs excluding it
+    blocking_frequency: Dict[int, int] = field(default_factory=dict)
+    #: blocked ASN -> set of distinct blockers
+    blockers: Dict[int, Set[int]] = field(default_factory=dict)
+    #: total number of EXCLUDE applications observed
+    total_exclusions: int = 0
+    #: exclusions where the blocked AS is in the blocker's customer cone
+    customer_cone_exclusions: int = 0
+    #: exclusions where the blocker is a provider of the blocked AS
+    provider_blocks_customer: int = 0
+
+    @property
+    def num_repellers(self) -> int:
+        """Number of ASes blocked at least once."""
+        return len(self.blocking_frequency)
+
+    def top_repellers(self, count: int = 10) -> List[Tuple[int, int]]:
+        """The most-blocked ASes as (asn, times blocked)."""
+        ranked = sorted(self.blocking_frequency.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
+
+    def fraction_customer_cone(self) -> float:
+        """Fraction of EXCLUDEs targeting an AS in the blocker's cone (77%)."""
+        if not self.total_exclusions:
+            return 0.0
+        return self.customer_cone_exclusions / self.total_exclusions
+
+    def fraction_provider_blocks_customer(self) -> float:
+        """Fraction of EXCLUDEs set by a provider against a direct customer
+        co-located at the same route server (12%)."""
+        if not self.total_exclusions:
+            return 0.0
+        return self.provider_blocks_customer / self.total_exclusions
+
+    def by_geographic_scope(self, peeringdb: PeeringDB) -> Dict[str, List[int]]:
+        """Figure 13: blocking frequencies grouped by the repeller's scope."""
+        result: Dict[str, List[int]] = {}
+        for asn, frequency in self.blocking_frequency.items():
+            scope = peeringdb.scope_of(asn)
+            result.setdefault(scope.value, []).append(frequency)
+        for values in result.values():
+            values.sort(reverse=True)
+        return result
+
+
+class RepellerAnalysis:
+    """Derive repeller statistics from reconstructed reachabilities."""
+
+    def __init__(
+        self,
+        customer_cone: Optional[Callable[[int], Set[int]]] = None,
+        direct_customers: Optional[Callable[[int], Set[int]]] = None,
+    ) -> None:
+        self.customer_cone = customer_cone
+        self.direct_customers = direct_customers
+
+    def analyse(
+        self,
+        reachabilities_by_ixp: Mapping[str, Mapping[int, MemberReachability]],
+        rs_members_by_ixp: Mapping[str, Iterable[int]],
+    ) -> RepellerReport:
+        """Count EXCLUDE applications across every route server."""
+        report = RepellerReport()
+        for ixp_name, per_member in reachabilities_by_ixp.items():
+            members = set(rs_members_by_ixp.get(ixp_name, ()))
+            for blocker, reachability in per_member.items():
+                if reachability.mode != "all-except":
+                    continue
+                blocked_members = set(reachability.listed) & members
+                for blocked in blocked_members:
+                    report.total_exclusions += 1
+                    report.blocking_frequency[blocked] = \
+                        report.blocking_frequency.get(blocked, 0) + 1
+                    report.blockers.setdefault(blocked, set()).add(blocker)
+                    if self.customer_cone is not None and \
+                            blocked in self.customer_cone(blocker):
+                        report.customer_cone_exclusions += 1
+                    if self.direct_customers is not None and \
+                            blocked in self.direct_customers(blocker):
+                        report.provider_blocks_customer += 1
+        return report

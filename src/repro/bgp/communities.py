@@ -1,0 +1,113 @@
+"""The BGP community attribute (RFC 1997).
+
+A community is a 32-bit value conventionally written ``high:low`` where
+both halves are 16 bits.  Route-server communities (the paper's key data
+source) encode an action in one half and a peer ASN in the other, e.g.
+``0:5410`` ("do not announce to AS5410 at DE-CIX") or ``6695:8359``
+("announce to AS8359 at DE-CIX").
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+
+class Community:
+    """A single ``high:low`` BGP community value."""
+
+    __slots__ = ("_high", "_low")
+
+    #: Well-known communities (RFC 1997).
+    NO_EXPORT_VALUE = 0xFFFFFF01
+    NO_ADVERTISE_VALUE = 0xFFFFFF02
+
+    def __init__(self, high: int, low: int) -> None:
+        if not 0 <= high <= 0xFFFF:
+            raise ValueError(f"community high half out of range: {high}")
+        if not 0 <= low <= 0xFFFF:
+            raise ValueError(f"community low half out of range: {low}")
+        object.__setattr__(self, "_high", high)
+        object.__setattr__(self, "_low", low)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Community":
+        """Parse the canonical ``high:low`` representation."""
+        text = text.strip()
+        high_text, sep, low_text = text.partition(":")
+        if not sep or not high_text.isdigit() or not low_text.isdigit():
+            raise ValueError(f"invalid community {text!r}")
+        return cls(int(high_text), int(low_text))
+
+    @classmethod
+    def from_int(cls, value: int) -> "Community":
+        """Build a community from its packed 32-bit integer form."""
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ValueError(f"community value out of range: {value}")
+        return cls(value >> 16, value & 0xFFFF)
+
+    @classmethod
+    def no_export(cls) -> "Community":
+        """The well-known NO_EXPORT community."""
+        return cls.from_int(cls.NO_EXPORT_VALUE)
+
+    @classmethod
+    def no_advertise(cls) -> "Community":
+        """The well-known NO_ADVERTISE community."""
+        return cls.from_int(cls.NO_ADVERTISE_VALUE)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def high(self) -> int:
+        """Upper 16 bits (conventionally the operator's ASN)."""
+        return self._high
+
+    @property
+    def low(self) -> int:
+        """Lower 16 bits (conventionally an operator-defined value)."""
+        return self._low
+
+    @property
+    def value(self) -> int:
+        """Packed 32-bit integer form."""
+        return (self._high << 16) | self._low
+
+    def is_well_known(self) -> bool:
+        """Return True for RFC 1997 well-known communities (0xFFFF high)."""
+        return self._high == 0xFFFF
+
+    # -- dunder ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"{self._high}:{self._low}"
+
+    def __repr__(self) -> str:
+        return f"Community({str(self)!r})"
+
+    def __hash__(self) -> int:
+        return hash((self._high, self._low))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Community):
+            return NotImplemented
+        return self._high == other._high and self._low == other._low
+
+    def __lt__(self, other: "Community") -> bool:
+        if not isinstance(other, Community):
+            return NotImplemented
+        return (self._high, self._low) < (other._high, other._low)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Community is immutable")
+
+
+def parse_community_set(text: str) -> FrozenSet[Community]:
+    """Parse a whitespace-separated list of ``high:low`` values."""
+    return frozenset(Community.parse(token) for token in text.split())
+
+
+def format_community_set(communities: Iterable[Community]) -> str:
+    """Render a community set in sorted ``high:low`` form."""
+    return " ".join(str(c) for c in sorted(communities))

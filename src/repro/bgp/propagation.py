@@ -1,0 +1,473 @@
+"""Valley-free BGP route propagation engine.
+
+The engine answers the question every measurement substrate needs
+answered: *given a policy-annotated AS-level topology, which AS paths
+(and which transitive BGP communities) does each AS end up with for each
+origin?*  Route collectors, looking glasses and the traceroute
+synthesiser all read their views out of a :class:`PropagationResult`.
+
+The algorithm is the standard three-phase breadth-first computation used
+in BGP simulation studies:
+
+1. **customer routes** — the origin's announcement climbs customer->provider
+   links; every AS on the way learns the route from a customer;
+2. **peer routes** — every AS holding a customer (or own) route offers it
+   across its peering links (bilateral and route-server) exactly one hop;
+3. **provider routes** — every AS holding any route propagates it down
+   provider->customer links recursively.
+
+Within a phase, shorter AS paths win; across phases, earlier phases win
+(customer > peer > provider), reproducing the default LOCAL_PREF policy.
+Ties break on the lowest neighbour ASN, which makes propagation fully
+deterministic.
+
+Route-server peering is modelled with directed :class:`Adjacency` entries
+carrying the RS communities the exporting member attached, so the
+communities show up — transitively — in collector feeds exactly as the
+paper describes in section 4.2.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.communities import Community
+from repro.bgp.policy import Relationship
+from repro.bgp.prefix import Prefix
+
+#: Provenance classes, in decreasing preference.
+CLASS_ORIGIN = 0
+CLASS_CUSTOMER = 1
+CLASS_PEER = 2
+CLASS_PROVIDER = 3
+
+_CLASS_NAMES = {
+    CLASS_ORIGIN: "origin",
+    CLASS_CUSTOMER: "customer",
+    CLASS_PEER: "peer",
+    CLASS_PROVIDER: "provider",
+}
+
+
+@dataclass(frozen=True)
+class Adjacency:
+    """A directed route-flow edge: *target* can learn routes from *source*.
+
+    ``relationship`` is the relationship of *source* as seen by *target*
+    (the importing AS): a route flowing customer->provider is represented
+    with ``relationship=Relationship.CUSTOMER`` because the provider
+    (target) learned it from a customer.
+
+    ``communities`` are attached to any route crossing the edge — this is
+    how RS members' export-policy communities become visible downstream.
+    If ``rs_transparent`` is False, ``via_rs_asn`` is inserted into the AS
+    path (the 'route server does not strip its ASN' artefact).
+    """
+
+    source: int
+    target: int
+    relationship: Relationship
+    communities: FrozenSet[Community] = frozenset()
+    via_rs_asn: Optional[int] = None
+    rs_transparent: bool = True
+    ixp: Optional[str] = None
+
+
+class PropagatedRoute:
+    """The route an AS ends up holding for one origin."""
+
+    __slots__ = ("asn", "path", "communities", "provenance", "learned_from")
+
+    def __init__(
+        self,
+        asn: int,
+        path: Tuple[int, ...],
+        communities: FrozenSet[Community],
+        provenance: int,
+        learned_from: Optional[int],
+    ) -> None:
+        self.asn = asn
+        #: AS path as the AS would announce it: [self, ..., origin].
+        self.path = path
+        self.communities = communities
+        #: one of CLASS_ORIGIN / CLASS_CUSTOMER / CLASS_PEER / CLASS_PROVIDER
+        self.provenance = provenance
+        self.learned_from = learned_from
+
+    @property
+    def received_path(self) -> Tuple[int, ...]:
+        """The AS path as received (without the local ASN prepended)."""
+        return self.path[1:] if len(self.path) > 1 else self.path
+
+    @property
+    def provenance_name(self) -> str:
+        """Human-readable provenance class."""
+        return _CLASS_NAMES[self.provenance]
+
+    def exportable_to_peer_or_provider(self) -> bool:
+        """Valley-free: only own/customer routes go to peers and providers."""
+        return self.provenance <= CLASS_CUSTOMER
+
+    def __repr__(self) -> str:
+        return (
+            f"PropagatedRoute(asn={self.asn}, path={list(self.path)}, "
+            f"provenance={self.provenance_name})"
+        )
+
+
+@dataclass
+class OriginSpec:
+    """An origin AS together with the prefixes it announces."""
+
+    asn: int
+    prefixes: Sequence[Prefix] = field(default_factory=list)
+    #: Communities attached by the origin itself to all its announcements.
+    communities: FrozenSet[Community] = frozenset()
+
+
+class PropagationResult:
+    """Routes recorded at the requested observation ASes.
+
+    The result maps ``(observer_asn, origin_asn)`` to the
+    :class:`PropagatedRoute` the observer selected as best, plus — for
+    observers registered with ``record_alternatives`` — the list of all
+    candidate routes offered to them (their Adj-RIB-In).
+    """
+
+    def __init__(self) -> None:
+        self._best: Dict[int, Dict[int, PropagatedRoute]] = {}
+        self._alternatives: Dict[int, Dict[int, List[PropagatedRoute]]] = {}
+        self._origins: Dict[int, OriginSpec] = {}
+
+    # -- population (used by the engine) ------------------------------------
+
+    def _record_best(self, origin: int, route: PropagatedRoute) -> None:
+        self._best.setdefault(route.asn, {})[origin] = route
+
+    def _record_alternative(self, origin: int, route: PropagatedRoute) -> None:
+        per_as = self._alternatives.setdefault(route.asn, {})
+        per_as.setdefault(origin, []).append(route)
+
+    def _record_origin(self, spec: OriginSpec) -> None:
+        self._origins[spec.asn] = spec
+
+    # -- read API ------------------------------------------------------------
+
+    def origins(self) -> List[int]:
+        """All origin ASNs that were propagated."""
+        return list(self._origins)
+
+    def origin_spec(self, origin_asn: int) -> OriginSpec:
+        """The :class:`OriginSpec` for *origin_asn*."""
+        return self._origins[origin_asn]
+
+    def observers(self) -> List[int]:
+        """All ASes with recorded routes."""
+        return list(self._best)
+
+    def best_route(self, observer_asn: int, origin_asn: int) -> Optional[PropagatedRoute]:
+        """Best route held by *observer_asn* towards *origin_asn*."""
+        return self._best.get(observer_asn, {}).get(origin_asn)
+
+    def routes_at(self, observer_asn: int) -> Dict[int, PropagatedRoute]:
+        """Mapping origin ASN -> best route at *observer_asn*."""
+        return dict(self._best.get(observer_asn, {}))
+
+    def all_paths(self, observer_asn: int, origin_asn: int) -> List[PropagatedRoute]:
+        """All candidate routes offered to *observer_asn* for *origin_asn*
+        (best first).  Falls back to the best route only when alternatives
+        were not recorded for this observer."""
+        alternatives = self._alternatives.get(observer_asn, {}).get(origin_asn)
+        if alternatives:
+            ordered = sorted(
+                alternatives,
+                key=lambda r: (r.provenance, len(r.path), r.learned_from or -1),
+            )
+            return ordered
+        best = self.best_route(observer_asn, origin_asn)
+        return [best] if best is not None else []
+
+    def visible_links(self, observer_asns: Optional[Iterable[int]] = None) -> Set[Tuple[int, int]]:
+        """AS links appearing in the best paths of the given observers
+        (all recorded observers by default)."""
+        observers = list(observer_asns) if observer_asns is not None else self.observers()
+        links: Set[Tuple[int, int]] = set()
+        for observer in observers:
+            for route in self._best.get(observer, {}).values():
+                path = route.path
+                for left, right in zip(path, path[1:]):
+                    if left != right:
+                        links.add((min(left, right), max(left, right)))
+        return links
+
+
+class PropagationEngine:
+    """Propagate origins over a policy-annotated adjacency set.
+
+    Parameters
+    ----------
+    adjacencies:
+        Directed :class:`Adjacency` entries.  For an ordinary undirected
+        link both directions must be supplied (use
+        :func:`bidirectional_adjacencies` for convenience).
+    record_at:
+        ASes whose resulting routes should be kept in the result.  If
+        None, every AS is recorded (only advisable for small topologies).
+    record_alternatives_at:
+        Subset of observers for which all offered candidate routes (the
+        Adj-RIB-In) are retained, not just the best one.
+    """
+
+    def __init__(
+        self,
+        adjacencies: Iterable[Adjacency],
+        record_at: Optional[Iterable[int]] = None,
+        record_alternatives_at: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._out: Dict[int, List[Adjacency]] = {}
+        self._nodes: Set[int] = set()
+        for adj in adjacencies:
+            self._out.setdefault(adj.source, []).append(adj)
+            self._nodes.add(adj.source)
+            self._nodes.add(adj.target)
+        for edges in self._out.values():
+            edges.sort(key=lambda a: a.target)
+        self._record_at = set(record_at) if record_at is not None else None
+        self._record_alt_at = set(record_alternatives_at or ())
+
+    # -- public API ----------------------------------------------------------
+
+    def nodes(self) -> Set[int]:
+        """All ASNs known to the engine."""
+        return set(self._nodes)
+
+    def propagate(self, origins: Iterable[OriginSpec]) -> PropagationResult:
+        """Propagate every origin and return the recorded routes."""
+        result = PropagationResult()
+        for spec in origins:
+            result._record_origin(spec)
+            self._propagate_one(spec, result)
+        return result
+
+    def propagate_origin(self, spec: OriginSpec) -> PropagationResult:
+        """Propagate a single origin (convenience wrapper)."""
+        return self.propagate([spec])
+
+    # -- internals -----------------------------------------------------------
+
+    def _propagate_one(self, spec: OriginSpec, result: PropagationResult) -> None:
+        origin = spec.asn
+        if origin not in self._nodes and origin not in self._out:
+            # Origin is isolated; it still holds its own route.
+            pass
+
+        #: asn -> (provenance, pathlen, learned_from, path, communities)
+        state: Dict[int, PropagatedRoute] = {}
+        offers: Dict[int, List[PropagatedRoute]] = {}
+
+        origin_route = PropagatedRoute(
+            asn=origin,
+            path=(origin,),
+            communities=frozenset(spec.communities),
+            provenance=CLASS_ORIGIN,
+            learned_from=None,
+        )
+        state[origin] = origin_route
+
+        # Phase 1: customer routes climb provider chains (and sibling links).
+        self._run_phase(
+            state,
+            offers,
+            frontier=[origin],
+            allowed_relationships=(Relationship.CUSTOMER, Relationship.SIBLING),
+            provenance=CLASS_CUSTOMER,
+            export_requires=CLASS_CUSTOMER,
+        )
+
+        # Phase 2: one hop across peering links (bilateral and route-server).
+        peer_sources = [asn for asn, route in state.items()
+                        if route.provenance <= CLASS_CUSTOMER]
+        self._run_single_hop(
+            state,
+            offers,
+            sources=peer_sources,
+            allowed_relationships=(Relationship.PEER, Relationship.RS_PEER),
+            provenance=CLASS_PEER,
+        )
+
+        # Phase 3: everything propagates down to customers.
+        provider_sources = list(state.keys())
+        self._run_phase(
+            state,
+            offers,
+            frontier=provider_sources,
+            allowed_relationships=(Relationship.PROVIDER, Relationship.SIBLING),
+            provenance=CLASS_PROVIDER,
+            export_requires=CLASS_PROVIDER,
+        )
+
+        self._record(spec, state, offers, result)
+
+    def _run_phase(
+        self,
+        state: Dict[int, PropagatedRoute],
+        offers: Dict[int, List[PropagatedRoute]],
+        frontier: List[int],
+        allowed_relationships: Tuple[Relationship, ...],
+        provenance: int,
+        export_requires: int,
+    ) -> None:
+        """Breadth-first propagation along the given relationship classes.
+
+        ``export_requires`` caps the provenance class an AS must hold to
+        keep exporting inside this phase (customer phase: only own/customer
+        routes climb; provider phase: anything flows down).
+        """
+        heap: List[Tuple[int, int, int]] = []
+        counter = 0
+        for asn in frontier:
+            route = state.get(asn)
+            if route is None:
+                continue
+            heapq.heappush(heap, (len(route.path), asn, counter))
+            counter += 1
+
+        while heap:
+            _, source, _ = heapq.heappop(heap)
+            source_route = state.get(source)
+            if source_route is None:
+                continue
+            if source_route.provenance > export_requires:
+                continue
+            for adj in self._out.get(source, ()):
+                if adj.relationship not in allowed_relationships:
+                    continue
+                candidate = self._build_candidate(adj, source_route, provenance)
+                self._offer(offers, adj.target, candidate)
+                if self._better(candidate, state.get(adj.target)):
+                    state[adj.target] = candidate
+                    heapq.heappush(heap, (len(candidate.path), adj.target, counter))
+                    counter += 1
+
+    def _run_single_hop(
+        self,
+        state: Dict[int, PropagatedRoute],
+        offers: Dict[int, List[PropagatedRoute]],
+        sources: List[int],
+        allowed_relationships: Tuple[Relationship, ...],
+        provenance: int,
+    ) -> None:
+        """One-hop propagation used for the peering phase."""
+        updates: Dict[int, PropagatedRoute] = {}
+        for source in sorted(sources):
+            source_route = state.get(source)
+            if source_route is None or source_route.provenance > CLASS_CUSTOMER:
+                continue
+            for adj in self._out.get(source, ()):
+                if adj.relationship not in allowed_relationships:
+                    continue
+                candidate = self._build_candidate(adj, source_route, provenance)
+                self._offer(offers, adj.target, candidate)
+                current = state.get(adj.target)
+                pending = updates.get(adj.target)
+                best_existing = pending if self._better_or_equal(pending, current) else current
+                if self._better(candidate, best_existing):
+                    updates[adj.target] = candidate
+        for asn, candidate in updates.items():
+            if self._better(candidate, state.get(asn)):
+                state[asn] = candidate
+
+    def _build_candidate(
+        self,
+        adj: Adjacency,
+        source_route: PropagatedRoute,
+        provenance: int,
+    ) -> PropagatedRoute:
+        received = source_route.path
+        if adj.via_rs_asn is not None and not adj.rs_transparent:
+            received = (adj.via_rs_asn,) + received
+        path = (adj.target,) + received
+        communities = source_route.communities
+        if adj.communities:
+            communities = communities | adj.communities
+        # Sibling links are transparent: they keep the exporter's provenance.
+        if adj.relationship is Relationship.SIBLING:
+            new_provenance = source_route.provenance
+        else:
+            new_provenance = max(provenance, source_route.provenance) \
+                if provenance == CLASS_PROVIDER else provenance
+        if provenance == CLASS_PROVIDER and adj.relationship is Relationship.PROVIDER:
+            new_provenance = CLASS_PROVIDER
+        return PropagatedRoute(
+            asn=adj.target,
+            path=path,
+            communities=communities,
+            provenance=new_provenance,
+            learned_from=adj.source,
+        )
+
+    @staticmethod
+    def _key(route: PropagatedRoute) -> Tuple[int, int, int]:
+        return (route.provenance, len(route.path),
+                route.learned_from if route.learned_from is not None else -1)
+
+    def _better(self, candidate: PropagatedRoute, current: Optional[PropagatedRoute]) -> bool:
+        if candidate is None:
+            return False
+        if current is None:
+            return True
+        return self._key(candidate) < self._key(current)
+
+    def _better_or_equal(
+        self, candidate: Optional[PropagatedRoute], current: Optional[PropagatedRoute]
+    ) -> bool:
+        if candidate is None:
+            return False
+        if current is None:
+            return True
+        return self._key(candidate) <= self._key(current)
+
+    def _offer(
+        self,
+        offers: Dict[int, List[PropagatedRoute]],
+        target: int,
+        candidate: PropagatedRoute,
+    ) -> None:
+        if target in self._record_alt_at:
+            offers.setdefault(target, []).append(candidate)
+
+    def _record(
+        self,
+        spec: OriginSpec,
+        state: Dict[int, PropagatedRoute],
+        offers: Dict[int, List[PropagatedRoute]],
+        result: PropagationResult,
+    ) -> None:
+        recordable = self._record_at
+        for asn, route in state.items():
+            if recordable is None or asn in recordable:
+                result._record_best(spec.asn, route)
+        for asn, candidates in offers.items():
+            if recordable is None or asn in recordable:
+                for candidate in candidates:
+                    result._record_alternative(spec.asn, candidate)
+
+
+def bidirectional_adjacencies(
+    asn_a: int,
+    asn_b: int,
+    relationship_of_b_seen_from_a: Relationship,
+) -> List[Adjacency]:
+    """Build the two directed adjacencies of an ordinary AS link.
+
+    ``relationship_of_b_seen_from_a`` follows the :class:`Relationship`
+    convention: ``CUSTOMER`` means *b* is *a*'s customer.
+    """
+    rel_ab = relationship_of_b_seen_from_a
+    # Route flow a->b: b learns from a, so b sees a as the inverse.
+    return [
+        Adjacency(source=asn_a, target=asn_b, relationship=rel_ab.inverse()),
+        Adjacency(source=asn_b, target=asn_a, relationship=rel_ab),
+    ]

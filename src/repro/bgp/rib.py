@@ -1,0 +1,147 @@
+"""Routing Information Bases and the BGP decision process.
+
+Three views are modelled, matching what the paper's measurement targets
+expose:
+
+* :class:`AdjRIBIn` — all routes received from neighbours, per prefix and
+  per neighbour.  Looking glasses configured to *display all paths* show
+  this view (figure 8's circles).
+* :class:`LocRIB` — only the best route per prefix after the decision
+  process.  Looking glasses that *display only the best path* show this
+  view (figure 8's triangles), which is why some genuine links fail
+  validation.
+* :class:`RIB` — the combination used by BGP speakers in the propagation
+  engine and by route servers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+
+
+class AdjRIBIn:
+    """All routes learned from neighbours, keyed by (prefix, neighbour)."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Prefix, Dict[int, Route]] = {}
+
+    def add(self, route: Route) -> None:
+        """Insert or replace the route from ``route.learned_from``."""
+        neighbour = route.learned_from if route.learned_from is not None else -1
+        self._routes.setdefault(route.prefix, {})[neighbour] = route
+
+    def withdraw(self, prefix: Prefix, neighbour: int) -> bool:
+        """Remove the route for *prefix* learned from *neighbour*."""
+        per_prefix = self._routes.get(prefix)
+        if not per_prefix or neighbour not in per_prefix:
+            return False
+        del per_prefix[neighbour]
+        if not per_prefix:
+            del self._routes[prefix]
+        return True
+
+    def routes_for(self, prefix: Prefix) -> List[Route]:
+        """All routes for *prefix*, best first."""
+        per_prefix = self._routes.get(prefix, {})
+        return sorted(per_prefix.values(), key=Route.selection_key)
+
+    def prefixes(self) -> List[Prefix]:
+        """All prefixes with at least one route."""
+        return list(self._routes)
+
+    def __len__(self) -> int:
+        return sum(len(per_prefix) for per_prefix in self._routes.values())
+
+    def __iter__(self) -> Iterator[Route]:
+        for per_prefix in self._routes.values():
+            yield from per_prefix.values()
+
+
+class LocRIB:
+    """Best route per prefix (the Loc-RIB)."""
+
+    def __init__(self) -> None:
+        self._best: Dict[Prefix, Route] = {}
+
+    def install(self, route: Route) -> None:
+        """Install *route* as the best route for its prefix."""
+        self._best[route.prefix] = route
+
+    def remove(self, prefix: Prefix) -> None:
+        """Remove the best route for *prefix* if present."""
+        self._best.pop(prefix, None)
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        """The best route for *prefix*, or None."""
+        return self._best.get(prefix)
+
+    def prefixes(self) -> List[Prefix]:
+        """All prefixes with an installed best route."""
+        return list(self._best)
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._best.values())
+
+    def items(self) -> Iterator[Tuple[Prefix, Route]]:
+        """Iterate over (prefix, best route) pairs."""
+        return iter(self._best.items())
+
+
+class RIB:
+    """A full RIB: Adj-RIB-In plus a Loc-RIB kept consistent on update."""
+
+    def __init__(self) -> None:
+        self.adj_rib_in = AdjRIBIn()
+        self.loc_rib = LocRIB()
+
+    def update(self, route: Route) -> bool:
+        """Insert *route*; returns True if the best path for the prefix
+        changed (i.e. the route should be re-advertised downstream)."""
+        previous = self.loc_rib.best(route.prefix)
+        self.adj_rib_in.add(route)
+        best = self._decide(route.prefix)
+        if best is None:
+            return False
+        self.loc_rib.install(best)
+        return previous is None or best != previous
+
+    def withdraw(self, prefix: Prefix, neighbour: int) -> bool:
+        """Withdraw the route from *neighbour*; returns True if the best
+        path changed or disappeared."""
+        removed = self.adj_rib_in.withdraw(prefix, neighbour)
+        if not removed:
+            return False
+        previous = self.loc_rib.best(prefix)
+        best = self._decide(prefix)
+        if best is None:
+            self.loc_rib.remove(prefix)
+            return previous is not None
+        self.loc_rib.install(best)
+        return best != previous
+
+    def _decide(self, prefix: Prefix) -> Optional[Route]:
+        candidates = self.adj_rib_in.routes_for(prefix)
+        if not candidates:
+            return None
+        return candidates[0]
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        """Best route for *prefix*."""
+        return self.loc_rib.best(prefix)
+
+    def all_paths(self, prefix: Prefix) -> List[Route]:
+        """All known routes for *prefix*, best first."""
+        return self.adj_rib_in.routes_for(prefix)
+
+    def prefixes(self) -> List[Prefix]:
+        """Prefixes present in the Adj-RIB-In."""
+        return self.adj_rib_in.prefixes()
+
+    def __len__(self) -> int:
+        return len(self.adj_rib_in)

@@ -1,0 +1,160 @@
+"""Route objects: a prefix announcement with its BGP attributes."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.bgp.attributes import ASPath, Origin
+from repro.bgp.communities import Community
+from repro.bgp.policy import Relationship
+from repro.bgp.prefix import Prefix
+
+
+class Route:
+    """A single BGP route: a prefix plus the attributes it carried.
+
+    Routes are immutable; modifications (prepending the local ASN, adding
+    communities on export, overriding LOCAL_PREF on import) produce new
+    instances via :meth:`replace`.
+    """
+
+    __slots__ = (
+        "_prefix",
+        "_as_path",
+        "_communities",
+        "_local_pref",
+        "_origin",
+        "_learned_from",
+        "_relationship",
+        "_med",
+    )
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        as_path: ASPath,
+        communities: Iterable[Community] = (),
+        local_pref: int = 100,
+        origin: Origin = Origin.IGP,
+        learned_from: Optional[int] = None,
+        relationship: Optional[Relationship] = None,
+        med: int = 0,
+    ) -> None:
+        object.__setattr__(self, "_prefix", prefix)
+        object.__setattr__(self, "_as_path", as_path)
+        object.__setattr__(self, "_communities", frozenset(communities))
+        object.__setattr__(self, "_local_pref", int(local_pref))
+        object.__setattr__(self, "_origin", origin)
+        object.__setattr__(self, "_learned_from", learned_from)
+        object.__setattr__(self, "_relationship", relationship)
+        object.__setattr__(self, "_med", int(med))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def prefix(self) -> Prefix:
+        """The announced prefix."""
+        return self._prefix
+
+    @property
+    def as_path(self) -> ASPath:
+        """The AS_PATH attribute."""
+        return self._as_path
+
+    @property
+    def communities(self) -> FrozenSet[Community]:
+        """The community attribute (possibly empty)."""
+        return self._communities
+
+    @property
+    def local_pref(self) -> int:
+        """LOCAL_PREF assigned by the receiving AS."""
+        return self._local_pref
+
+    @property
+    def origin(self) -> Origin:
+        """The ORIGIN attribute."""
+        return self._origin
+
+    @property
+    def learned_from(self) -> Optional[int]:
+        """ASN of the neighbour the route was learned from (None if local)."""
+        return self._learned_from
+
+    @property
+    def relationship(self) -> Optional[Relationship]:
+        """Relationship of the session the route was learned on."""
+        return self._relationship
+
+    @property
+    def med(self) -> int:
+        """MULTI_EXIT_DISC attribute."""
+        return self._med
+
+    @property
+    def origin_asn(self) -> int:
+        """Origin AS of the route (last AS-path element, or the learned_from
+        neighbour for an empty path)."""
+        if len(self._as_path):
+            return self._as_path.origin_asn
+        if self._learned_from is not None:
+            return self._learned_from
+        raise ValueError("route has neither AS path nor neighbour")
+
+    def is_local(self) -> bool:
+        """True if the route was originated locally (empty AS path)."""
+        return len(self._as_path) == 0
+
+    # -- derived -----------------------------------------------------------
+
+    def replace(self, **changes: object) -> "Route":
+        """Return a copy with the given keyword fields replaced."""
+        kwargs = {
+            "prefix": self._prefix,
+            "as_path": self._as_path,
+            "communities": self._communities,
+            "local_pref": self._local_pref,
+            "origin": self._origin,
+            "learned_from": self._learned_from,
+            "relationship": self._relationship,
+            "med": self._med,
+        }
+        kwargs.update(changes)
+        return Route(**kwargs)  # type: ignore[arg-type]
+
+    def selection_key(self) -> Tuple:
+        """Sort key implementing the BGP decision process.
+
+        Lower keys are preferred: higher LOCAL_PREF first, then shorter
+        AS path, then lower MED, then lower neighbour ASN as a
+        deterministic tie-breaker (standing in for router-id comparison).
+        """
+        neighbour = self._learned_from if self._learned_from is not None else -1
+        return (-self._local_pref, len(self._as_path), self._med, neighbour,
+                self._as_path.asns)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Route(prefix={self._prefix}, path=[{self._as_path}], "
+            f"lp={self._local_pref}, communities={len(self._communities)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Route):
+            return NotImplemented
+        return (
+            self._prefix == other._prefix
+            and self._as_path == other._as_path
+            and self._communities == other._communities
+            and self._local_pref == other._local_pref
+            and self._learned_from == other._learned_from
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._prefix, self._as_path, self._communities,
+                     self._local_pref, self._learned_from))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Route is immutable")

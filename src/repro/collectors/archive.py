@@ -1,0 +1,145 @@
+"""Collector archives over a measurement window.
+
+The paper accumulates daily table dumps and update messages for
+1-7 May 2013 and filters out transient AS paths (paths observed so
+briefly that they probably reflect misconfigured community values or
+leaks).  :class:`CollectorArchive` reproduces that pipeline: it stores
+dumps per day, synthesises update noise, and can return the stable
+entries that survive the transient filter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.messages import RibEntry, UpdateMessage, WithdrawMessage
+from repro.bgp.prefix import Prefix
+from repro.bgp.propagation import PropagationResult
+from repro.collectors.route_collector import RouteCollector
+
+
+@dataclass(frozen=True)
+class MeasurementWindow:
+    """A measurement window of consecutive days (1-7 May 2013 style)."""
+
+    start_day: int = 1
+    num_days: int = 7
+    label: str = "2013-05"
+
+    def days(self) -> List[int]:
+        """The day indices covered by the window."""
+        return list(range(self.start_day, self.start_day + self.num_days))
+
+
+class CollectorArchive:
+    """Archived dumps and updates of one or more collectors."""
+
+    def __init__(self, collectors: Iterable[RouteCollector],
+                 window: Optional[MeasurementWindow] = None,
+                 seed: int = 7) -> None:
+        self.collectors = list(collectors)
+        self.window = window or MeasurementWindow()
+        self._rng = random.Random(seed)
+        #: day -> list of RIB entries
+        self._dumps: Dict[int, List[RibEntry]] = {}
+        self._updates: List[UpdateMessage] = []
+
+    # -- population ------------------------------------------------------------------
+
+    def collect(self, propagation: PropagationResult,
+                transient_fraction: float = 0.0) -> None:
+        """Record a table dump for every day of the window.
+
+        ``transient_fraction`` injects short-lived entries (present on a
+        single day only) to exercise the transient-path filter.
+        """
+        base_entries: List[RibEntry] = []
+        for collector in self.collectors:
+            base_entries.extend(collector.table_dump(propagation))
+        for day in self.window.days():
+            day_entries = [RibEntry(
+                peer_asn=e.peer_asn, prefix=e.prefix, as_path=e.as_path,
+                communities=e.communities, collector=e.collector,
+                timestamp=float(day)) for e in base_entries]
+            self._dumps[day] = day_entries
+        if transient_fraction > 0 and base_entries:
+            self._inject_transients(base_entries, transient_fraction)
+        self._synthesise_updates(base_entries)
+
+    def add_entry(self, day: int, entry: RibEntry) -> None:
+        """Add a single entry to a specific day's dump."""
+        self._dumps.setdefault(day, []).append(entry)
+
+    def _inject_transients(self, base_entries: Sequence[RibEntry],
+                           fraction: float) -> None:
+        count = max(1, int(len(base_entries) * fraction))
+        chosen = self._rng.sample(list(base_entries), min(count, len(base_entries)))
+        day = self._rng.choice(self.window.days())
+        for entry in chosen:
+            # A transient: same prefix/VP but a slightly different, short-lived path.
+            mangled_path = ASPath(entry.as_path.asns[:1] + entry.as_path.asns)
+            self._dumps[day].append(RibEntry(
+                peer_asn=entry.peer_asn, prefix=entry.prefix,
+                as_path=mangled_path, communities=entry.communities,
+                collector=entry.collector, timestamp=float(day)))
+
+    def _synthesise_updates(self, base_entries: Sequence[RibEntry]) -> None:
+        if not base_entries:
+            return
+        sample_size = min(len(base_entries), max(1, len(base_entries) // 20))
+        for entry in self._rng.sample(list(base_entries), sample_size):
+            day = self._rng.choice(self.window.days())
+            self._updates.append(UpdateMessage(
+                timestamp=day + self._rng.random(),
+                peer_asn=entry.peer_asn,
+                prefix=entry.prefix,
+                as_path=entry.as_path,
+                communities=entry.communities,
+                collector=entry.collector,
+            ))
+
+    # -- read API ---------------------------------------------------------------------
+
+    def dump_for_day(self, day: int) -> List[RibEntry]:
+        """The RIB dump archived for *day*."""
+        return list(self._dumps.get(day, []))
+
+    def all_entries(self) -> List[RibEntry]:
+        """Every archived RIB entry across the window."""
+        result: List[RibEntry] = []
+        for day in sorted(self._dumps):
+            result.extend(self._dumps[day])
+        return result
+
+    def updates(self) -> List[UpdateMessage]:
+        """The archived update messages."""
+        return list(self._updates)
+
+    def stable_entries(self, min_days: int = 2) -> List[RibEntry]:
+        """Entries whose (vantage point, prefix, path) persisted for at
+        least *min_days* days — the transient-path filter of section 5."""
+        persistence: Dict[Tuple[int, Prefix, Tuple[int, ...]], Set[int]] = {}
+        samples: Dict[Tuple[int, Prefix, Tuple[int, ...]], RibEntry] = {}
+        for day, entries in self._dumps.items():
+            for entry in entries:
+                key = (entry.peer_asn, entry.prefix, entry.as_path.asns)
+                persistence.setdefault(key, set()).add(day)
+                samples.setdefault(key, entry)
+        effective_min = min(min_days, len(self._dumps)) if self._dumps else min_days
+        return [samples[key] for key, days in persistence.items()
+                if len(days) >= effective_min]
+
+    def clean_stable_entries(self, min_days: int = 2) -> List[RibEntry]:
+        """Stable entries that also pass the reserved-ASN / cycle filters."""
+        return [entry for entry in self.stable_entries(min_days)
+                if entry.is_clean()]
+
+    def visible_as_links(self) -> Set[Tuple[int, int]]:
+        """AS links visible anywhere in the archived dumps."""
+        links: Set[Tuple[int, int]] = set()
+        for entry in self.all_entries():
+            links.update(entry.as_path.links())
+        return links

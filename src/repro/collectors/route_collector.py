@@ -1,0 +1,47 @@
+"""Route collectors: the Route Views / RIPE RIS equivalents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.messages import RibEntry, UpdateMessage
+from repro.bgp.prefix import Prefix
+from repro.bgp.propagation import PropagationResult
+from repro.collectors.vantage_point import VantagePoint
+
+
+@dataclass
+class RouteCollector:
+    """A passive BGP collector with a set of vantage-point feeds."""
+
+    name: str
+    vantage_points: List[VantagePoint] = field(default_factory=list)
+
+    def add_vantage_point(self, vantage_point: VantagePoint) -> VantagePoint:
+        """Attach a vantage point feed to this collector."""
+        vantage_point.collector = self.name
+        self.vantage_points.append(vantage_point)
+        return vantage_point
+
+    def peer_asns(self) -> List[int]:
+        """ASNs of all vantage points feeding the collector."""
+        return sorted(vp.asn for vp in self.vantage_points)
+
+    def table_dump(self, propagation: PropagationResult,
+                   timestamp: float = 0.0) -> List[RibEntry]:
+        """Produce a RIB dump: the concatenation of every vantage point's
+        exported table at *timestamp*."""
+        entries: List[RibEntry] = []
+        for vantage_point in self.vantage_points:
+            entries.extend(vantage_point.exported_routes(propagation, timestamp))
+        return entries
+
+    def visible_as_links(self, propagation: PropagationResult) -> Set[Tuple[int, int]]:
+        """AS links visible in the collector's dump (plus the VP-collector
+        adjacency is excluded, as in real topology extractions)."""
+        links: Set[Tuple[int, int]] = set()
+        for entry in self.table_dump(propagation):
+            links.update(entry.as_path.links())
+        return links

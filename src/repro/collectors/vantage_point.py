@@ -1,0 +1,58 @@
+"""Vantage points: the ASes that feed route collectors.
+
+The paper notes that two-thirds of contributing ASes configure their
+collector session like a peering session, exporting only customer-learned
+and own routes; the remaining third provide full feeds.  The distinction
+matters enormously for which RS communities become visible passively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.bgp.messages import RibEntry
+from repro.bgp.attributes import ASPath
+from repro.bgp.propagation import CLASS_CUSTOMER, PropagatedRoute, PropagationResult
+
+
+class FeedType(enum.Enum):
+    """How the vantage point treats its collector session."""
+
+    FULL = "full"              #: exports its entire routing table
+    CUSTOMER_ONLY = "customer" #: exports only own/customer routes (p2p-like)
+
+
+@dataclass
+class VantagePoint:
+    """One AS feeding a route collector."""
+
+    asn: int
+    feed_type: FeedType = FeedType.CUSTOMER_ONLY
+    collector: str = "route-views"
+
+    def exported_routes(self, propagation: PropagationResult,
+                        timestamp: float = 0.0) -> List[RibEntry]:
+        """The RIB entries this vantage point exports to its collector,
+        derived from the routes it holds in the propagation result."""
+        entries: List[RibEntry] = []
+        for origin, route in propagation.routes_at(self.asn).items():
+            if not self._exports(route):
+                continue
+            spec = propagation.origin_spec(origin)
+            for prefix in spec.prefixes:
+                entries.append(RibEntry(
+                    peer_asn=self.asn,
+                    prefix=prefix,
+                    as_path=ASPath(route.path),
+                    communities=route.communities,
+                    collector=self.collector,
+                    timestamp=timestamp,
+                ))
+        return entries
+
+    def _exports(self, route: PropagatedRoute) -> bool:
+        if self.feed_type is FeedType.FULL:
+            return True
+        return route.provenance <= CLASS_CUSTOMER

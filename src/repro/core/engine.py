@@ -1,0 +1,289 @@
+"""The MLP inference engine: combine passive and active data, infer links.
+
+:class:`MLPInferenceEngine` orchestrates the full pipeline of section 4
+across any number of IXPs:
+
+1. take the connectivity reports (route-server members per IXP);
+2. extract RS communities passively from collector archives;
+3. query route-server looking glasses (or third-party member looking
+   glasses) for the members not covered passively;
+4. merge all observations into per-member reachability sets N_a;
+5. infer a p2p link for every pair of members with reciprocal ALLOW.
+
+The result object keeps per-IXP detail (Table 2's columns) plus the
+de-duplicated global link set, and records the provenance of every
+member's reachability so the cost and visibility analyses can be
+reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.messages import RibEntry
+from repro.bgp.policy import Relationship
+from repro.core.active import (
+    ActiveCollection,
+    ActiveInference,
+    ThirdPartyCollection,
+    collect_from_third_party_lg,
+)
+from repro.core.communities import RSCommunityInterpreter
+from repro.core.passive import PassiveInference, PassiveObservation
+from repro.core.reachability import (
+    MemberReachability,
+    PolicyObservation,
+    infer_links,
+    merge_observations,
+)
+from repro.ixp.community_schemes import SchemeRegistry
+from repro.ixp.looking_glass import ASLookingGlass, RouteServerLookingGlass
+
+
+@dataclass
+class IXPInference:
+    """Per-IXP inference outcome (one row of Table 2)."""
+
+    ixp_name: str
+    members: Set[int] = field(default_factory=set)
+    passive_members: Set[int] = field(default_factory=set)
+    active_members: Set[int] = field(default_factory=set)
+    reachabilities: Dict[int, MemberReachability] = field(default_factory=dict)
+    links: Set[Tuple[int, int]] = field(default_factory=set)
+    active_queries: int = 0
+
+    @property
+    def num_links(self) -> int:
+        """Number of MLP links inferred at this IXP."""
+        return len(self.links)
+
+    def covered_members(self) -> Set[int]:
+        """Members with a reconstructed reachability."""
+        return set(self.reachabilities)
+
+    def table2_row(self, num_ixp_ases: Optional[int] = None,
+                   has_lg: Optional[bool] = None) -> Dict[str, object]:
+        """This IXP rendered as a row of the paper's Table 2."""
+        return {
+            "IXP": self.ixp_name,
+            "LG": ("Y" if has_lg else "N") if has_lg is not None else "?",
+            "ASes": num_ixp_ases if num_ixp_ases is not None else len(self.members),
+            "RS": len(self.members),
+            "Pasv": len(self.passive_members),
+            "Active": len(self.active_members - self.passive_members),
+            "Links": self.num_links,
+        }
+
+
+@dataclass
+class MLPInferenceResult:
+    """The combined result across all IXPs."""
+
+    per_ixp: Dict[str, IXPInference] = field(default_factory=dict)
+
+    def ixp(self, ixp_name: str) -> IXPInference:
+        """The per-IXP inference for *ixp_name*."""
+        return self.per_ixp[ixp_name]
+
+    def ixp_names(self) -> List[str]:
+        """All IXPs with an inference, sorted by link count (descending)."""
+        return sorted(self.per_ixp,
+                      key=lambda name: -self.per_ixp[name].num_links)
+
+    def all_links(self) -> Set[Tuple[int, int]]:
+        """De-duplicated union of the per-IXP link sets."""
+        links: Set[Tuple[int, int]] = set()
+        for inference in self.per_ixp.values():
+            links |= inference.links
+        return links
+
+    def links_by_ixp(self) -> Dict[str, Set[Tuple[int, int]]]:
+        """Per-IXP link sets."""
+        return {name: set(inference.links)
+                for name, inference in self.per_ixp.items()}
+
+    def multi_ixp_links(self) -> Set[Tuple[int, int]]:
+        """Links inferred at more than one IXP (the overlap the paper
+        quantifies: 11,821 links appear at multiple IXPs)."""
+        seen: Dict[Tuple[int, int], int] = {}
+        for inference in self.per_ixp.values():
+            for link in inference.links:
+                seen[link] = seen.get(link, 0) + 1
+        return {link for link, count in seen.items() if count > 1}
+
+    def all_member_asns(self) -> Set[int]:
+        """Every ASN involved in at least one inferred link."""
+        asns: Set[int] = set()
+        for link in self.all_links():
+            asns.update(link)
+        return asns
+
+    def total_links(self) -> int:
+        """Sum of per-IXP link counts (larger than the de-duplicated count)."""
+        return sum(inference.num_links for inference in self.per_ixp.values())
+
+    def peer_counts(self) -> Dict[int, int]:
+        """Per-AS number of distinct inferred MLP peers (figure 6's x-axis)."""
+        counts: Dict[int, int] = {}
+        for a, b in self.all_links():
+            counts[a] = counts.get(a, 0) + 1
+            counts[b] = counts.get(b, 0) + 1
+        return counts
+
+    def table2(self, ixp_ases: Optional[Mapping[str, int]] = None,
+               ixp_has_lg: Optional[Mapping[str, bool]] = None) -> List[Dict[str, object]]:
+        """The full Table 2, ordered by total IXP size."""
+        ixp_ases = ixp_ases or {}
+        ixp_has_lg = ixp_has_lg or {}
+        rows = [
+            inference.table2_row(ixp_ases.get(name), ixp_has_lg.get(name))
+            for name, inference in self.per_ixp.items()
+        ]
+        rows.sort(key=lambda row: (-int(row["ASes"]), row["IXP"]))
+        return rows
+
+
+class MLPInferenceEngine:
+    """Run the full inference across a set of IXPs."""
+
+    def __init__(
+        self,
+        registry: SchemeRegistry,
+        rs_members: Mapping[str, Iterable[int]],
+        mappers: Optional[Mapping[str, object]] = None,
+        relationships: Optional[Mapping[Tuple[int, int], Relationship]] = None,
+        sample_fraction: float = 0.10,
+        max_prefixes_per_member: int = 100,
+    ) -> None:
+        self.registry = registry
+        self.rs_members: Dict[str, Set[int]] = {
+            name: set(members) for name, members in rs_members.items()}
+        self.interpreter = RSCommunityInterpreter(
+            registry, self.rs_members, mappers=mappers)
+        self.relationships = dict(relationships or {})
+        self.sample_fraction = sample_fraction
+        self.max_prefixes_per_member = max_prefixes_per_member
+
+    # -- pipeline ---------------------------------------------------------------------
+
+    def run(
+        self,
+        passive_entries: Optional[Iterable[RibEntry]] = None,
+        rs_looking_glasses: Optional[Mapping[str, RouteServerLookingGlass]] = None,
+        third_party_lgs: Optional[Mapping[str, Sequence[ASLookingGlass]]] = None,
+        require_reciprocity: bool = True,
+    ) -> MLPInferenceResult:
+        """Run passive extraction, active collection and link inference.
+
+        ``require_reciprocity`` exposes the paper's reciprocity assumption
+        as an ablation switch: when False, a single direction of ALLOW is
+        enough to infer a link.
+        """
+        rs_looking_glasses = dict(rs_looking_glasses or {})
+        third_party_lgs = {name: list(lgs)
+                           for name, lgs in (third_party_lgs or {}).items()}
+
+        passive_by_ixp = self._run_passive(passive_entries)
+        result = MLPInferenceResult()
+
+        for ixp_name, members in self.rs_members.items():
+            inference = IXPInference(ixp_name=ixp_name, members=set(members))
+            observations: List[PolicyObservation] = []
+
+            passive_observations = passive_by_ixp.get(ixp_name, [])
+            if passive_observations:
+                passive = PassiveInference(self.interpreter, self.relationships)
+                observations.extend(passive.policy_observations(passive_observations))
+                inference.passive_members = {
+                    o.setter_asn for o in passive_observations}
+
+            covered_prefixes = {
+                o.setter_asn: set() for o in passive_observations}
+            for observation in passive_observations:
+                covered_prefixes.setdefault(observation.setter_asn, set()).add(
+                    observation.prefix)
+
+            if ixp_name in rs_looking_glasses:
+                active = ActiveInference(
+                    rs_looking_glasses[ixp_name],
+                    sample_fraction=self.sample_fraction,
+                    max_prefixes_per_member=self.max_prefixes_per_member)
+                collection = active.collect(
+                    skip_members=inference.passive_members,
+                    covered_prefixes=covered_prefixes)
+                observations.extend(
+                    collection.policy_observations(self.interpreter))
+                inference.active_members = collection.members_with_communities()
+                inference.active_queries = collection.total_queries
+                # The LG summary is authoritative connectivity data.
+                inference.members |= collection.members
+            elif ixp_name in third_party_lgs:
+                for lg in third_party_lgs[ixp_name]:
+                    collection = collect_from_third_party_lg(
+                        ixp_name, lg, members, self.interpreter)
+                    observations.extend(
+                        collection.policy_observations(self.interpreter))
+                    inference.active_members |= collection.members_with_communities()
+                    inference.active_queries += collection.total_queries
+
+            inference.reachabilities = self._merge(ixp_name, observations,
+                                                   inference.members)
+            inference.links = self._infer_links(
+                inference.reachabilities, inference.members, require_reciprocity)
+            result.per_ixp[ixp_name] = inference
+        return result
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _run_passive(
+        self, passive_entries: Optional[Iterable[RibEntry]]
+    ) -> Dict[str, List[PassiveObservation]]:
+        if passive_entries is None:
+            return {}
+        passive = PassiveInference(self.interpreter, self.relationships)
+        observations = passive.extract(passive_entries)
+        by_ixp: Dict[str, List[PassiveObservation]] = {}
+        for observation in observations:
+            by_ixp.setdefault(observation.ixp_name, []).append(observation)
+        return by_ixp
+
+    def _merge(
+        self,
+        ixp_name: str,
+        observations: Sequence[PolicyObservation],
+        members: Set[int],
+    ) -> Dict[int, MemberReachability]:
+        by_member: Dict[int, List[PolicyObservation]] = {}
+        for observation in observations:
+            if observation.ixp_name != ixp_name:
+                continue
+            if members and observation.member_asn not in members:
+                continue
+            by_member.setdefault(observation.member_asn, []).append(observation)
+        reachabilities: Dict[int, MemberReachability] = {}
+        for member_asn, member_observations in by_member.items():
+            merged = merge_observations(member_observations, members)
+            if merged is not None:
+                reachabilities[member_asn] = merged
+        return reachabilities
+
+    def _infer_links(
+        self,
+        reachabilities: Dict[int, MemberReachability],
+        members: Set[int],
+        require_reciprocity: bool,
+    ) -> Set[Tuple[int, int]]:
+        if require_reciprocity:
+            return infer_links(reachabilities, members)
+        links: Set[Tuple[int, int]] = set()
+        ordered = sorted(members)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                reach_a = reachabilities.get(a)
+                reach_b = reachabilities.get(b)
+                allow_ab = reach_a.allows(b) if reach_a else False
+                allow_ba = reach_b.allows(a) if reach_b else False
+                if allow_ab or allow_ba:
+                    links.add((a, b))
+        return links

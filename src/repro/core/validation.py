@@ -1,0 +1,192 @@
+"""Looking-glass validation of inferred links (section 5.1).
+
+For every inferred link relevant to a validation looking glass (an LG
+operated by one of the link's endpoints or by one of their customers),
+the validator queries ``show ip bgp <prefix>`` for up to six
+geographically distant prefixes originated behind the far endpoint and
+checks whether any returned AS path contains the link.  Observing the
+link confirms it; not observing it is inconclusive — especially through
+LGs that display only the best path (figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.ixp.looking_glass import ASLookingGlass
+from repro.measurement.geolocation import GeolocationDB
+
+
+@dataclass
+class LinkValidationOutcome:
+    """Validation outcome for one (link, looking glass) pair."""
+
+    link: Tuple[int, int]
+    lg_asn: int
+    confirmed: bool
+    prefixes_tried: int
+    display_all_paths: bool
+    ixp_name: Optional[str] = None
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate validation results."""
+
+    outcomes: List[LinkValidationOutcome] = field(default_factory=list)
+
+    def tested_links(self) -> Set[Tuple[int, int]]:
+        """Links for which at least one LG was queried."""
+        return {outcome.link for outcome in self.outcomes}
+
+    def confirmed_links(self) -> Set[Tuple[int, int]]:
+        """Links confirmed by at least one LG."""
+        return {o.link for o in self.outcomes if o.confirmed}
+
+    @property
+    def num_tested(self) -> int:
+        """Number of distinct links tested."""
+        return len(self.tested_links())
+
+    @property
+    def num_confirmed(self) -> int:
+        """Number of distinct links confirmed."""
+        return len(self.confirmed_links())
+
+    @property
+    def confirmation_rate(self) -> float:
+        """Fraction of tested links confirmed to exist."""
+        if not self.num_tested:
+            return 0.0
+        return self.num_confirmed / self.num_tested
+
+    def per_ixp(self) -> Dict[str, Dict[str, object]]:
+        """Table 3: per-IXP tested / confirmed counts and rates."""
+        tested: Dict[str, Set[Tuple[int, int]]] = {}
+        confirmed: Dict[str, Set[Tuple[int, int]]] = {}
+        for outcome in self.outcomes:
+            name = outcome.ixp_name or "unknown"
+            tested.setdefault(name, set()).add(outcome.link)
+            if outcome.confirmed:
+                confirmed.setdefault(name, set()).add(outcome.link)
+        result: Dict[str, Dict[str, object]] = {}
+        for name, links in tested.items():
+            ok = confirmed.get(name, set())
+            result[name] = {
+                "validated": len(links),
+                "confirmed": len(ok),
+                "rate": len(ok) / len(links) if links else 0.0,
+            }
+        return result
+
+    def per_looking_glass(self) -> Dict[int, Dict[str, object]]:
+        """Figure 8: per-LG confirmation rate, with the display mode."""
+        grouped: Dict[int, List[LinkValidationOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.lg_asn, []).append(outcome)
+        result: Dict[int, Dict[str, object]] = {}
+        for lg_asn, outcomes in grouped.items():
+            links = {o.link for o in outcomes}
+            confirmed = {o.link for o in outcomes if o.confirmed}
+            result[lg_asn] = {
+                "tested": len(links),
+                "confirmed": len(confirmed),
+                "rate": len(confirmed) / len(links) if links else 0.0,
+                "display_all_paths": outcomes[0].display_all_paths,
+            }
+        return result
+
+    def rate_by_display_mode(self) -> Dict[str, float]:
+        """Average per-LG confirmation rate split by display mode."""
+        per_lg = self.per_looking_glass()
+        buckets: Dict[str, List[float]] = {"all-paths": [], "best-path": []}
+        for stats in per_lg.values():
+            key = "all-paths" if stats["display_all_paths"] else "best-path"
+            buckets[key].append(float(stats["rate"]))
+        return {key: (sum(values) / len(values) if values else 0.0)
+                for key, values in buckets.items()}
+
+
+class LinkValidator:
+    """Validate inferred links against AS looking glasses."""
+
+    def __init__(
+        self,
+        looking_glasses: Sequence[ASLookingGlass],
+        origin_prefixes: Mapping[int, Sequence[Prefix]],
+        geolocation: Optional[GeolocationDB] = None,
+        max_prefixes_per_link: int = 6,
+        relevance: Optional[Callable[[int, Tuple[int, int]], bool]] = None,
+    ) -> None:
+        self.looking_glasses = list(looking_glasses)
+        self.origin_prefixes = {asn: list(prefixes)
+                                for asn, prefixes in origin_prefixes.items()}
+        self.geolocation = geolocation
+        self.max_prefixes_per_link = max_prefixes_per_link
+        #: relevance(lg_asn, link) -> bool; default: the LG belongs to one
+        #: of the link endpoints.
+        self.relevance = relevance or (lambda lg_asn, link: lg_asn in link)
+
+    # -- validation -------------------------------------------------------------------
+
+    def validate(
+        self,
+        links: Iterable[Tuple[int, int]],
+        link_ixp: Optional[Mapping[Tuple[int, int], str]] = None,
+    ) -> ValidationReport:
+        """Validate every link against every relevant looking glass."""
+        link_ixp = dict(link_ixp or {})
+        report = ValidationReport()
+        for link in sorted(set(links)):
+            for lg in self.looking_glasses:
+                if not self.relevance(lg.asn, link):
+                    continue
+                outcome = self._validate_one(link, lg)
+                outcome.ixp_name = link_ixp.get(link)
+                report.outcomes.append(outcome)
+        return report
+
+    def _validate_one(self, link: Tuple[int, int],
+                      lg: ASLookingGlass) -> LinkValidationOutcome:
+        a, b = link
+        # Query prefixes originated behind the far endpoint; an LG hosted
+        # by a third party (e.g. a customer) tries both endpoints.
+        if lg.asn == a:
+            candidates = self._candidate_prefixes(b)
+        elif lg.asn == b:
+            candidates = self._candidate_prefixes(a)
+        else:
+            candidates = self._candidate_prefixes(b) + self._candidate_prefixes(a)
+            candidates = candidates[: self.max_prefixes_per_link]
+        confirmed = False
+        tried = 0
+        for prefix in candidates:
+            tried += 1
+            if self._link_in_lg_paths(lg, prefix, link):
+                confirmed = True
+                break
+        return LinkValidationOutcome(
+            link=link, lg_asn=lg.asn, confirmed=confirmed,
+            prefixes_tried=tried, display_all_paths=lg.display_all_paths)
+
+    def _candidate_prefixes(self, origin_asn: int) -> List[Prefix]:
+        prefixes = self.origin_prefixes.get(origin_asn, [])
+        if not prefixes:
+            return []
+        if self.geolocation is not None:
+            return self.geolocation.select_distant(
+                prefixes, self.max_prefixes_per_link)
+        return list(prefixes[: self.max_prefixes_per_link])
+
+    @staticmethod
+    def _link_in_lg_paths(lg: ASLookingGlass, prefix: Prefix,
+                          link: Tuple[int, int]) -> bool:
+        wanted = (min(link), max(link))
+        for route in lg.show_ip_bgp_prefix(prefix):
+            path = route.as_path
+            for left, right in zip(path, path[1:]):
+                if (min(left, right), max(left, right)) == wanted:
+                    return True
+        return False

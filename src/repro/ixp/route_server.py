@@ -1,0 +1,275 @@
+"""IXP route server.
+
+The route server accepts announcements from members, interprets the RS
+communities attached to each announcement under the IXP's community
+scheme, and re-advertises routes to exactly the members the announcing
+member allowed.  Filtering is driven by the *communities actually
+attached* (not by the member's ground-truth intent), which is what makes
+the substrate faithful: anything the inference algorithm later recovers
+was genuinely encoded on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.bgp.asn import Private16BitMapper, is_32bit_asn
+from repro.bgp.communities import Community
+from repro.bgp.prefix import Prefix
+from repro.ixp.community_schemes import CommunityScheme, RSAction
+from repro.ixp.member import MemberExportPolicy
+
+
+@dataclass(frozen=True)
+class RouteServerEntry:
+    """One route held by the route server."""
+
+    member_asn: int
+    prefix: Prefix
+    as_path: Tuple[int, ...]
+    communities: FrozenSet[Community]
+
+    @property
+    def origin_asn(self) -> int:
+        """Origin AS of the announced route."""
+        return self.as_path[-1] if self.as_path else self.member_asn
+
+
+class RouteServer:
+    """A single IXP route server (one BGP speaker).
+
+    Members are registered with their IXP-LAN IP address and an export
+    policy; :meth:`announce` stores a route tagged with the communities
+    derived from that policy (or explicitly provided communities, to model
+    misconfigurations and per-prefix inconsistencies).
+    """
+
+    def __init__(
+        self,
+        ixp_name: str,
+        rs_asn: int,
+        scheme: CommunityScheme,
+        transparent: bool = True,
+    ) -> None:
+        self.ixp_name = ixp_name
+        self.rs_asn = rs_asn
+        self.scheme = scheme
+        #: Whether the RS strips its own ASN from re-advertised paths.
+        self.transparent = transparent
+        self.mapper = Private16BitMapper()
+        self._members: Dict[int, MemberExportPolicy] = {}
+        self._member_ips: Dict[int, str] = {}
+        self._ip_to_member: Dict[str, int] = {}
+        #: prefix -> member ASN -> entry
+        self._rib: Dict[Prefix, Dict[int, RouteServerEntry]] = {}
+
+    # -- membership ---------------------------------------------------------------
+
+    def add_member(
+        self,
+        member_asn: int,
+        policy: Optional[MemberExportPolicy] = None,
+        ip_address: Optional[str] = None,
+    ) -> MemberExportPolicy:
+        """Register a member session on the route server."""
+        if policy is None:
+            policy = MemberExportPolicy.announce_to_all(member_asn, self.ixp_name)
+        if policy.member_asn != member_asn:
+            raise ValueError("policy member ASN does not match the session ASN")
+        self._members[member_asn] = policy
+        if is_32bit_asn(member_asn):
+            self.mapper.register(member_asn)
+        if ip_address is None:
+            ip_address = f"10.{(member_asn >> 8) & 0xFF}.{member_asn & 0xFF}.1"
+        self._member_ips[member_asn] = ip_address
+        self._ip_to_member[ip_address] = member_asn
+        return policy
+
+    def remove_member(self, member_asn: int) -> None:
+        """Tear down a member session and drop its routes."""
+        self._members.pop(member_asn, None)
+        ip = self._member_ips.pop(member_asn, None)
+        if ip is not None:
+            self._ip_to_member.pop(ip, None)
+        for per_prefix in list(self._rib.values()):
+            per_prefix.pop(member_asn, None)
+        self._rib = {p: routes for p, routes in self._rib.items() if routes}
+
+    def members(self) -> List[int]:
+        """ASNs of all connected members."""
+        return sorted(self._members)
+
+    def is_member(self, asn: int) -> bool:
+        """True if *asn* has a session with the route server."""
+        return asn in self._members
+
+    def member_policy(self, asn: int) -> MemberExportPolicy:
+        """Ground-truth export policy of *asn* (KeyError if not a member)."""
+        return self._members[asn]
+
+    def member_ip(self, asn: int) -> str:
+        """IXP-LAN IP address of *asn*."""
+        return self._member_ips[asn]
+
+    def member_by_ip(self, ip_address: str) -> int:
+        """Member ASN for an IXP-LAN IP address."""
+        return self._ip_to_member[ip_address]
+
+    # -- announcements --------------------------------------------------------------
+
+    def announce(
+        self,
+        member_asn: int,
+        prefix: Prefix,
+        as_path: Optional[Iterable[int]] = None,
+        communities: Optional[Iterable[Community]] = None,
+    ) -> RouteServerEntry:
+        """Store an announcement from *member_asn*.
+
+        If *communities* is None they are derived from the member's export
+        policy under the IXP scheme; an explicit value models announcements
+        whose communities deviate from the member's usual policy.
+        """
+        if member_asn not in self._members:
+            raise KeyError(f"AS{member_asn} is not a member of {self.ixp_name} RS")
+        if as_path is None:
+            as_path = (member_asn,)
+        path = tuple(as_path)
+        if not path or path[0] != member_asn:
+            path = (member_asn,) + path
+        if communities is None:
+            policy = self._members[member_asn]
+            communities = policy.communities_for(self.scheme, prefix, self.mapper)
+        entry = RouteServerEntry(
+            member_asn=member_asn,
+            prefix=prefix,
+            as_path=path,
+            communities=frozenset(communities),
+        )
+        self._rib.setdefault(prefix, {})[member_asn] = entry
+        return entry
+
+    def announce_policy_prefixes(self, member_asn: int,
+                                 prefixes: Iterable[Prefix]) -> List[RouteServerEntry]:
+        """Announce every prefix in *prefixes* under the member's policy."""
+        return [self.announce(member_asn, prefix) for prefix in prefixes]
+
+    def withdraw(self, member_asn: int, prefix: Prefix) -> bool:
+        """Withdraw *prefix* previously announced by *member_asn*."""
+        per_prefix = self._rib.get(prefix)
+        if not per_prefix or member_asn not in per_prefix:
+            return False
+        del per_prefix[member_asn]
+        if not per_prefix:
+            del self._rib[prefix]
+        return True
+
+    # -- RIB queries -------------------------------------------------------------------
+
+    def prefixes(self) -> List[Prefix]:
+        """All prefixes present in the route-server RIB."""
+        return sorted(self._rib)
+
+    def routes_for_prefix(self, prefix: Prefix) -> List[RouteServerEntry]:
+        """All member announcements for *prefix*."""
+        return sorted(self._rib.get(prefix, {}).values(),
+                      key=lambda e: e.member_asn)
+
+    def routes_from_member(self, member_asn: int) -> List[RouteServerEntry]:
+        """All announcements made by *member_asn*."""
+        result = [per_prefix[member_asn] for per_prefix in self._rib.values()
+                  if member_asn in per_prefix]
+        return sorted(result, key=lambda e: e.prefix)
+
+    def announced_prefixes(self, member_asn: int) -> List[Prefix]:
+        """Prefixes announced by *member_asn*."""
+        return [entry.prefix for entry in self.routes_from_member(member_asn)]
+
+    def members_announcing(self, prefix: Prefix) -> List[int]:
+        """Members that announced *prefix* (figure 5's multiplicity)."""
+        return sorted(self._rib.get(prefix, {}))
+
+    def __len__(self) -> int:
+        return sum(len(per_prefix) for per_prefix in self._rib.values())
+
+    # -- export filtering -----------------------------------------------------------------
+
+    def allowed_targets(self, entry: RouteServerEntry) -> Set[int]:
+        """Members that receive *entry*, derived from its communities.
+
+        The decision follows the scheme semantics: NONE + INCLUDE only
+        reaches the included members; otherwise every member except those
+        named by EXCLUDE communities receives the route.  Peer ASNs found
+        in communities are resolved through the private-ASN mapper so
+        32-bit members are filterable.
+        """
+        others = set(self._members) - {entry.member_asn}
+        classified = self.scheme.classify_set(entry.communities)
+        has_none = any(c.action is RSAction.NONE for _, c in classified)
+        includes = {self.mapper.resolve(c.peer_asn)
+                    for _, c in classified
+                    if c.action is RSAction.INCLUDE and c.peer_asn is not None}
+        excludes = {self.mapper.resolve(c.peer_asn)
+                    for _, c in classified
+                    if c.action is RSAction.EXCLUDE and c.peer_asn is not None}
+        if has_none:
+            return others & includes
+        return others - excludes
+
+    def exports_to(self, member_asn: int) -> List[RouteServerEntry]:
+        """Routes the route server advertises to *member_asn*.
+
+        The exported path keeps the announcing member as the first hop;
+        non-transparent route servers additionally leave their own ASN in
+        the path (the artefact observed in 3 of the paper's validation
+        cases).
+        """
+        if member_asn not in self._members:
+            raise KeyError(f"AS{member_asn} is not a member of {self.ixp_name} RS")
+        exported: List[RouteServerEntry] = []
+        for per_prefix in self._rib.values():
+            for entry in per_prefix.values():
+                if entry.member_asn == member_asn:
+                    continue
+                if member_asn in self.allowed_targets(entry):
+                    path = entry.as_path
+                    if not self.transparent:
+                        path = (self.rs_asn,) + path
+                    exported.append(RouteServerEntry(
+                        member_asn=entry.member_asn,
+                        prefix=entry.prefix,
+                        as_path=path,
+                        communities=entry.communities,
+                    ))
+        return sorted(exported, key=lambda e: (e.prefix, e.member_asn))
+
+    # -- ground truth ---------------------------------------------------------------------
+
+    def served_pairs(self) -> Set[Tuple[int, int]]:
+        """Ground-truth multilateral peering pairs: (a, b) such that both
+        directions are served by the route server for at least one prefix."""
+        allowed: Dict[int, Set[int]] = {asn: set() for asn in self._members}
+        for per_prefix in self._rib.values():
+            for entry in per_prefix.values():
+                allowed[entry.member_asn] |= self.allowed_targets(entry)
+        pairs: Set[Tuple[int, int]] = set()
+        members = sorted(self._members)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if b in allowed.get(a, ()) and a in allowed.get(b, ()):
+                    pairs.add((a, b))
+        return pairs
+
+    def peering_density(self) -> Dict[int, float]:
+        """Per-member peering density: established RS peers over possible
+        RS peers (figure 12)."""
+        members = self.members()
+        possible = len(members) - 1
+        if possible <= 0:
+            return {asn: 0.0 for asn in members}
+        degree: Dict[int, int] = {asn: 0 for asn in members}
+        for a, b in self.served_pairs():
+            degree[a] += 1
+            degree[b] += 1
+        return {asn: degree[asn] / possible for asn in members}

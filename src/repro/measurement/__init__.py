@@ -1,0 +1,19 @@
+"""Non-BGP measurement substrates: traceroute-derived links, geolocation.
+
+The Ark / DIMES traceroute datasets the paper compares against (figure 6)
+do not resolve links established across IXP route servers — they report
+adjacencies between members and the route server instead — which is the
+structural reason the MLP links have almost no overlap with
+traceroute-derived topologies.  The geolocation substrate stands in for
+the MaxMind database used to pick geographically distant validation
+prefixes (section 5.1).
+"""
+
+from repro.measurement.traceroute import TracerouteCampaign, TracerouteConfig
+from repro.measurement.geolocation import GeolocationDB
+
+__all__ = [
+    "TracerouteCampaign",
+    "TracerouteConfig",
+    "GeolocationDB",
+]

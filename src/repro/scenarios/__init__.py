@@ -1,0 +1,24 @@
+"""Ready-made synthetic ecosystems.
+
+:func:`repro.scenarios.europe2013.build_europe2013` assembles the full
+"13 European IXPs, May 2013" measurement scenario: synthetic Internet,
+route servers with community-tagged announcements, collectors, looking
+glasses, registries, geolocation and traceroute substrates — everything
+the inference engine and the evaluation analyses consume.
+"""
+
+from repro.scenarios.europe2013 import Scenario, ScenarioConfig, build_europe2013
+from repro.scenarios.workloads import (
+    small_scenario_config,
+    medium_scenario_config,
+    large_scenario_config,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "build_europe2013",
+    "small_scenario_config",
+    "medium_scenario_config",
+    "large_scenario_config",
+]

@@ -1,0 +1,50 @@
+"""Parameterised workload configurations for tests, examples and benchmarks.
+
+Three sizes are provided:
+
+* ``small``  — a minutes-of-CPU-free configuration for unit/integration
+  tests (a handful of IXPs' worth of members);
+* ``medium`` — the default used by most benchmarks; preserves the
+  qualitative structure of Table 2 at roughly a quarter of the paper's
+  member counts;
+* ``large``  — closer to the paper's scale, for the headline Table 2 /
+  Figure 6 benchmarks when more runtime is acceptable.
+"""
+
+from __future__ import annotations
+
+from repro.collectors.archive import MeasurementWindow
+from repro.scenarios.europe2013 import ScenarioConfig
+from repro.topology.generator import GeneratorConfig
+
+
+def small_scenario_config(seed: int = 20130501) -> ScenarioConfig:
+    """A small, fast configuration for tests."""
+    return ScenarioConfig(
+        generator=GeneratorConfig(seed=seed, scale=0.12, ixp_member_scale=0.10),
+        seed=seed + 1,
+        vantage_point_fraction=0.10,
+        num_validation_lgs=25,
+        num_traceroute_monitors=12,
+        window=MeasurementWindow(num_days=3),
+    )
+
+
+def medium_scenario_config(seed: int = 20130501) -> ScenarioConfig:
+    """The default benchmark configuration (roughly quarter scale)."""
+    return ScenarioConfig(
+        generator=GeneratorConfig(seed=seed, scale=0.25, ixp_member_scale=0.22),
+        seed=seed + 1,
+        num_validation_lgs=50,
+        num_traceroute_monitors=20,
+    )
+
+
+def large_scenario_config(seed: int = 20130501) -> ScenarioConfig:
+    """A configuration closer to the paper's scale (slower to build)."""
+    return ScenarioConfig(
+        generator=GeneratorConfig(seed=seed, scale=0.45, ixp_member_scale=0.40),
+        seed=seed + 1,
+        num_validation_lgs=70,
+        num_traceroute_monitors=30,
+    )

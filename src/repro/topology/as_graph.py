@@ -1,0 +1,372 @@
+"""AS graph container.
+
+The :class:`ASGraph` holds the ground-truth ecosystem: ASes with their
+business attributes (type, region, peering policy, prefixes, IXP
+memberships) and annotated links (c2p / p2p / rs-p2p / sibling).  It is
+the single source of truth the substrates (route servers, collectors,
+looking glasses, registries) and the evaluation analyses read from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.bgp.policy import Relationship
+from repro.bgp.prefix import Prefix
+from repro.bgp.propagation import Adjacency
+from repro.topology.relationships import LinkType
+
+
+class PeeringPolicy(enum.Enum):
+    """Self-reported peering policy (PeeringDB vocabulary, section 5.2)."""
+
+    OPEN = "open"
+    SELECTIVE = "selective"
+    RESTRICTIVE = "restrictive"
+    UNKNOWN = "unknown"
+
+
+class GeographicScope(enum.Enum):
+    """Self-reported geographic scope of operations (figure 13)."""
+
+    GLOBAL = "global"
+    EUROPE = "europe"
+    REGIONAL = "regional"
+    NOT_AVAILABLE = "n/a"
+
+
+class ASType(enum.Enum):
+    """Coarse role of an AS in the synthetic hierarchy."""
+
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    REGIONAL = "regional"
+    STUB = "stub"
+    CONTENT = "content"
+
+
+@dataclass
+class ASNode:
+    """A single autonomous system and its ground-truth attributes."""
+
+    asn: int
+    name: str = ""
+    as_type: ASType = ASType.STUB
+    region: str = "eu-west"
+    scope: GeographicScope = GeographicScope.REGIONAL
+    policy: PeeringPolicy = PeeringPolicy.UNKNOWN
+    prefixes: List[Prefix] = field(default_factory=list)
+    #: IXPs where the AS has a presence (by IXP name).
+    ixps: Set[str] = field(default_factory=set)
+    #: IXPs where the AS is connected to the route server.
+    rs_memberships: Set[str] = field(default_factory=set)
+    #: True if the AS registers its policy/scope in the PeeringDB substrate.
+    in_peeringdb: bool = True
+
+    def is_stub(self) -> bool:
+        """True if the AS provides transit to nobody (set by the graph)."""
+        return self.as_type in (ASType.STUB, ASType.CONTENT)
+
+
+@dataclass(frozen=True)
+class ASLink:
+    """An undirected, annotated AS link.
+
+    For ``LinkType.C2P`` the convention is that ``a`` is the customer and
+    ``b`` the provider.  For peering and sibling links the order carries
+    no meaning.
+    """
+
+    a: int
+    b: int
+    link_type: LinkType
+    ixp: Optional[str] = None
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        """Sorted endpoint pair identifying the adjacency."""
+        return (min(self.a, self.b), max(self.a, self.b))
+
+    def involves(self, asn: int) -> bool:
+        """True if *asn* is one of the endpoints."""
+        return asn == self.a or asn == self.b
+
+    def other(self, asn: int) -> int:
+        """The opposite endpoint from *asn*."""
+        if asn == self.a:
+            return self.b
+        if asn == self.b:
+            return self.a
+        raise ValueError(f"AS{asn} is not on link {self}")
+
+    def __str__(self) -> str:
+        return f"{self.a}-{self.b} ({self.link_type.value})"
+
+
+class ASGraph:
+    """Mutable AS-level topology with relationship annotations."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, ASNode] = {}
+        self._links: Dict[Tuple[int, int], ASLink] = {}
+        self._neighbours: Dict[int, Set[int]] = {}
+
+    # -- nodes ---------------------------------------------------------------
+
+    def add_as(self, node: ASNode) -> ASNode:
+        """Add (or replace) an AS."""
+        self._nodes[node.asn] = node
+        self._neighbours.setdefault(node.asn, set())
+        return node
+
+    def get_as(self, asn: int) -> ASNode:
+        """Return the :class:`ASNode` for *asn* (KeyError if unknown)."""
+        return self._nodes[asn]
+
+    def has_as(self, asn: int) -> bool:
+        """True if *asn* is in the graph."""
+        return asn in self._nodes
+
+    def asns(self) -> List[int]:
+        """All ASNs, sorted."""
+        return sorted(self._nodes)
+
+    def nodes(self) -> Iterator[ASNode]:
+        """Iterate over all AS nodes."""
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._nodes
+
+    # -- links ---------------------------------------------------------------
+
+    def add_link(self, link: ASLink) -> ASLink:
+        """Add (or replace) a link.  Both endpoints must already exist."""
+        if link.a not in self._nodes or link.b not in self._nodes:
+            raise KeyError(f"both endpoints of {link} must be added first")
+        if link.a == link.b:
+            raise ValueError("self-loops are not allowed")
+        self._links[link.endpoints] = link
+        self._neighbours[link.a].add(link.b)
+        self._neighbours[link.b].add(link.a)
+        return link
+
+    def add_c2p(self, customer: int, provider: int) -> ASLink:
+        """Convenience: add a customer-to-provider link."""
+        return self.add_link(ASLink(customer, provider, LinkType.C2P))
+
+    def add_p2p(self, a: int, b: int, ixp: Optional[str] = None,
+                multilateral: bool = False) -> ASLink:
+        """Convenience: add a (possibly route-server) peering link."""
+        link_type = LinkType.RS_P2P if multilateral else LinkType.P2P
+        return self.add_link(ASLink(a, b, link_type, ixp=ixp))
+
+    def get_link(self, a: int, b: int) -> Optional[ASLink]:
+        """The link between *a* and *b*, or None."""
+        return self._links.get((min(a, b), max(a, b)))
+
+    def has_link(self, a: int, b: int) -> bool:
+        """True if *a* and *b* are adjacent."""
+        return (min(a, b), max(a, b)) in self._links
+
+    def remove_link(self, a: int, b: int) -> bool:
+        """Remove the link between *a* and *b* if present."""
+        key = (min(a, b), max(a, b))
+        link = self._links.pop(key, None)
+        if link is None:
+            return False
+        self._neighbours[link.a].discard(link.b)
+        self._neighbours[link.b].discard(link.a)
+        return True
+
+    def links(self, link_type: Optional[LinkType] = None) -> List[ASLink]:
+        """All links, optionally filtered by type."""
+        if link_type is None:
+            return list(self._links.values())
+        return [link for link in self._links.values() if link.link_type is link_type]
+
+    def peering_links(self) -> List[ASLink]:
+        """All p2p links (bilateral and route-server)."""
+        return [link for link in self._links.values() if link.link_type.is_peering]
+
+    def num_links(self) -> int:
+        """Total number of links."""
+        return len(self._links)
+
+    # -- adjacency queries -----------------------------------------------------
+
+    def neighbours(self, asn: int) -> Set[int]:
+        """ASNs adjacent to *asn*."""
+        return set(self._neighbours.get(asn, set()))
+
+    def degree(self, asn: int) -> int:
+        """Total degree of *asn*."""
+        return len(self._neighbours.get(asn, set()))
+
+    def customers(self, asn: int) -> List[int]:
+        """Direct customers of *asn*."""
+        result = []
+        for other in self._neighbours.get(asn, set()):
+            link = self.get_link(asn, other)
+            if link and link.link_type is LinkType.C2P and link.b == asn:
+                result.append(other)
+        return sorted(result)
+
+    def providers(self, asn: int) -> List[int]:
+        """Direct providers of *asn*."""
+        result = []
+        for other in self._neighbours.get(asn, set()):
+            link = self.get_link(asn, other)
+            if link and link.link_type is LinkType.C2P and link.a == asn:
+                result.append(other)
+        return sorted(result)
+
+    def peers(self, asn: int, include_rs: bool = True) -> List[int]:
+        """Peers of *asn* (bilateral, plus route-server peers by default)."""
+        result = []
+        for other in self._neighbours.get(asn, set()):
+            link = self.get_link(asn, other)
+            if link is None:
+                continue
+            if link.link_type is LinkType.P2P or (
+                include_rs and link.link_type is LinkType.RS_P2P
+            ):
+                result.append(other)
+        return sorted(result)
+
+    def siblings(self, asn: int) -> List[int]:
+        """Sibling ASes of *asn*."""
+        result = []
+        for other in self._neighbours.get(asn, set()):
+            link = self.get_link(asn, other)
+            if link and link.link_type is LinkType.SIBLING:
+                result.append(other)
+        return sorted(result)
+
+    def relationship(self, local: int, remote: int) -> Optional[Relationship]:
+        """Relationship of *remote* as seen from *local*, or None."""
+        link = self.get_link(local, remote)
+        if link is None:
+            return None
+        if link.link_type is LinkType.C2P:
+            return Relationship.CUSTOMER if link.a == remote else Relationship.PROVIDER
+        if link.link_type is LinkType.P2P:
+            return Relationship.PEER
+        if link.link_type is LinkType.RS_P2P:
+            return Relationship.RS_PEER
+        return Relationship.SIBLING
+
+    def relationship_map(self) -> Dict[Tuple[int, int], Relationship]:
+        """Ordered-pair relationship map usable by the valley-free checker."""
+        result: Dict[Tuple[int, int], Relationship] = {}
+        for link in self._links.values():
+            rel_ab = self.relationship(link.a, link.b)
+            rel_ba = self.relationship(link.b, link.a)
+            if rel_ab is not None:
+                result[(link.a, link.b)] = rel_ab
+            if rel_ba is not None:
+                result[(link.b, link.a)] = rel_ba
+        return result
+
+    # -- derived structures ------------------------------------------------------
+
+    def transit_degree(self, asn: int) -> int:
+        """Number of customers of *asn* (the 'customer degree' of figure 7)."""
+        return len(self.customers(asn))
+
+    def stubs(self) -> List[int]:
+        """ASes with no customers."""
+        return [asn for asn in self._nodes if not self.customers(asn)]
+
+    def members_of_ixp(self, ixp: str) -> List[int]:
+        """ASes with a presence at *ixp*."""
+        return sorted(asn for asn, node in self._nodes.items() if ixp in node.ixps)
+
+    def rs_members_of_ixp(self, ixp: str) -> List[int]:
+        """ASes connected to the route server of *ixp*."""
+        return sorted(asn for asn, node in self._nodes.items()
+                      if ixp in node.rs_memberships)
+
+    def prefixes_of(self, asn: int) -> List[Prefix]:
+        """Prefixes originated by *asn*."""
+        return list(self._nodes[asn].prefixes)
+
+    # -- propagation export -------------------------------------------------------
+
+    def propagation_adjacencies(
+        self,
+        include_link_types: Optional[Iterable[LinkType]] = None,
+        rs_community_provider=None,
+    ) -> List[Adjacency]:
+        """Convert the graph into directed adjacencies for the
+        :class:`~repro.bgp.propagation.PropagationEngine`.
+
+        ``rs_community_provider`` is an optional callable
+        ``(exporter_asn, ixp_name) -> frozenset[Community]`` used to attach
+        the exporter's route-server communities to rs-p2p edges; route
+        servers do exactly this in the real system, which is what makes the
+        communities visible in collector feeds.
+        """
+        allowed = set(include_link_types) if include_link_types is not None else None
+        adjacencies: List[Adjacency] = []
+        for link in self._links.values():
+            if allowed is not None and link.link_type not in allowed:
+                continue
+            if link.link_type is LinkType.C2P:
+                customer, provider = link.a, link.b
+                adjacencies.append(Adjacency(
+                    source=customer, target=provider,
+                    relationship=Relationship.CUSTOMER))
+                adjacencies.append(Adjacency(
+                    source=provider, target=customer,
+                    relationship=Relationship.PROVIDER))
+            elif link.link_type is LinkType.SIBLING:
+                adjacencies.append(Adjacency(
+                    source=link.a, target=link.b,
+                    relationship=Relationship.SIBLING))
+                adjacencies.append(Adjacency(
+                    source=link.b, target=link.a,
+                    relationship=Relationship.SIBLING))
+            elif link.link_type is LinkType.P2P:
+                adjacencies.append(Adjacency(
+                    source=link.a, target=link.b,
+                    relationship=Relationship.PEER, ixp=link.ixp))
+                adjacencies.append(Adjacency(
+                    source=link.b, target=link.a,
+                    relationship=Relationship.PEER, ixp=link.ixp))
+            else:  # RS_P2P
+                communities_ab = frozenset()
+                communities_ba = frozenset()
+                if rs_community_provider is not None and link.ixp is not None:
+                    communities_ab = frozenset(
+                        rs_community_provider(link.a, link.ixp))
+                    communities_ba = frozenset(
+                        rs_community_provider(link.b, link.ixp))
+                adjacencies.append(Adjacency(
+                    source=link.a, target=link.b,
+                    relationship=Relationship.RS_PEER, ixp=link.ixp,
+                    communities=communities_ab))
+                adjacencies.append(Adjacency(
+                    source=link.b, target=link.a,
+                    relationship=Relationship.RS_PEER, ixp=link.ixp,
+                    communities=communities_ba))
+        return adjacencies
+
+    # -- summary -------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Basic size statistics."""
+        return {
+            "ases": len(self._nodes),
+            "links": len(self._links),
+            "c2p_links": len(self.links(LinkType.C2P)),
+            "p2p_links": len(self.links(LinkType.P2P)),
+            "rs_p2p_links": len(self.links(LinkType.RS_P2P)),
+            "sibling_links": len(self.links(LinkType.SIBLING)),
+            "stubs": len(self.stubs()),
+        }

@@ -1,0 +1,142 @@
+"""Tests for Route objects and the RIB decision process."""
+
+import pytest
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.communities import Community
+from repro.bgp.policy import Relationship
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import RIB, AdjRIBIn, LocRIB
+from repro.bgp.route import Route
+
+
+def make_route(prefix="10.0.0.0/24", path=(100, 200), local_pref=100,
+               learned_from=None, communities=(), med=0):
+    return Route(
+        prefix=Prefix.parse(prefix),
+        as_path=ASPath(path),
+        communities=communities,
+        local_pref=local_pref,
+        learned_from=learned_from if learned_from is not None else (path[0] if path else None),
+        med=med,
+    )
+
+
+class TestRoute:
+    def test_accessors(self):
+        route = make_route(communities=[Community(0, 6695)])
+        assert route.origin_asn == 200
+        assert Community(0, 6695) in route.communities
+        assert not route.is_local()
+
+    def test_local_route(self):
+        route = Route(Prefix.parse("10.0.0.0/24"), ASPath([]), learned_from=None)
+        assert route.is_local()
+        with pytest.raises(ValueError):
+            route.origin_asn
+
+    def test_replace_creates_new_instance(self):
+        route = make_route(local_pref=100)
+        updated = route.replace(local_pref=200)
+        assert updated.local_pref == 200
+        assert route.local_pref == 100
+        assert updated.prefix == route.prefix
+
+    def test_immutability(self):
+        route = make_route()
+        with pytest.raises(AttributeError):
+            route.local_pref = 50
+
+    def test_selection_prefers_higher_local_pref(self):
+        low = make_route(path=(1, 9), local_pref=80)
+        high = make_route(path=(2, 3, 4, 9), local_pref=100)
+        assert high.selection_key() < low.selection_key()
+
+    def test_selection_prefers_shorter_path_on_tie(self):
+        short = make_route(path=(1, 9))
+        long = make_route(path=(2, 3, 9))
+        assert short.selection_key() < long.selection_key()
+
+    def test_selection_prefers_lower_med_then_neighbour(self):
+        a = make_route(path=(5, 9), med=0)
+        b = make_route(path=(5, 9), med=10)
+        assert a.selection_key() < b.selection_key()
+        c = make_route(path=(2, 9))
+        d = make_route(path=(7, 9))
+        assert c.selection_key() < d.selection_key()
+
+
+class TestAdjRIBIn:
+    def test_add_and_replace_per_neighbour(self):
+        rib = AdjRIBIn()
+        rib.add(make_route(path=(1, 9)))
+        rib.add(make_route(path=(1, 5, 9)))  # same neighbour replaces
+        assert len(rib) == 1
+        rib.add(make_route(path=(2, 9)))
+        assert len(rib) == 2
+
+    def test_routes_for_sorted_best_first(self):
+        rib = AdjRIBIn()
+        rib.add(make_route(path=(2, 5, 9)))
+        rib.add(make_route(path=(1, 9)))
+        routes = rib.routes_for(Prefix.parse("10.0.0.0/24"))
+        assert routes[0].as_path.asns == (1, 9)
+
+    def test_withdraw(self):
+        rib = AdjRIBIn()
+        rib.add(make_route(path=(1, 9)))
+        assert rib.withdraw(Prefix.parse("10.0.0.0/24"), 1)
+        assert not rib.withdraw(Prefix.parse("10.0.0.0/24"), 1)
+        assert len(rib) == 0
+
+
+class TestRIB:
+    def test_update_installs_best(self):
+        rib = RIB()
+        changed = rib.update(make_route(path=(2, 5, 9)))
+        assert changed
+        assert rib.best(Prefix.parse("10.0.0.0/24")).as_path.asns == (2, 5, 9)
+
+    def test_better_route_replaces_best(self):
+        rib = RIB()
+        rib.update(make_route(path=(2, 5, 9)))
+        changed = rib.update(make_route(path=(1, 9)))
+        assert changed
+        assert rib.best(Prefix.parse("10.0.0.0/24")).as_path.asns == (1, 9)
+
+    def test_worse_route_does_not_change_best(self):
+        rib = RIB()
+        rib.update(make_route(path=(1, 9)))
+        changed = rib.update(make_route(path=(2, 5, 6, 9)))
+        assert not changed
+        assert rib.best(Prefix.parse("10.0.0.0/24")).as_path.asns == (1, 9)
+        assert len(rib.all_paths(Prefix.parse("10.0.0.0/24"))) == 2
+
+    def test_withdraw_falls_back_to_second_best(self):
+        rib = RIB()
+        rib.update(make_route(path=(1, 9)))
+        rib.update(make_route(path=(2, 5, 9)))
+        changed = rib.withdraw(Prefix.parse("10.0.0.0/24"), 1)
+        assert changed
+        assert rib.best(Prefix.parse("10.0.0.0/24")).as_path.asns == (2, 5, 9)
+
+    def test_withdraw_last_route_empties_loc_rib(self):
+        rib = RIB()
+        rib.update(make_route(path=(1, 9)))
+        assert rib.withdraw(Prefix.parse("10.0.0.0/24"), 1)
+        assert rib.best(Prefix.parse("10.0.0.0/24")) is None
+
+    def test_withdraw_unknown_is_noop(self):
+        rib = RIB()
+        assert not rib.withdraw(Prefix.parse("10.0.0.0/24"), 1)
+
+
+class TestLocRIB:
+    def test_install_and_remove(self):
+        loc = LocRIB()
+        route = make_route()
+        loc.install(route)
+        assert loc.best(route.prefix) == route
+        assert len(loc) == 1
+        loc.remove(route.prefix)
+        assert loc.best(route.prefix) is None

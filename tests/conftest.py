@@ -1,0 +1,26 @@
+"""Shared fixtures: a small end-to-end scenario built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.europe2013 import build_europe2013
+from repro.scenarios.workloads import small_scenario_config
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """The small synthetic Europe-2013 scenario (built once)."""
+    return build_europe2013(small_scenario_config(seed=20130501))
+
+
+@pytest.fixture(scope="session")
+def inference_result(small_scenario):
+    """Full inference (passive + active) over the small scenario."""
+    return small_scenario.run_inference()
+
+
+@pytest.fixture(scope="session")
+def connectivity_reports(small_scenario):
+    """Connectivity discovery reports for the small scenario."""
+    return small_scenario.discover_connectivity()

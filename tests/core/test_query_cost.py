@@ -1,0 +1,96 @@
+"""Tests for the querying-cost model of section 4.3."""
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.core.query_cost import QueryCostModel
+
+
+def prefixes(*names):
+    return [Prefix.parse(name) for name in names]
+
+
+@pytest.fixture
+def model():
+    announced = {
+        1: prefixes("11.0.0.0/24", "11.0.1.0/24", "11.0.2.0/24"),
+        2: prefixes("11.0.1.0/24", "11.0.3.0/24"),
+        3: prefixes("11.0.1.0/24"),
+    }
+    return QueryCostModel("DE-CIX", announced, sample_fraction=0.5,
+                          max_prefixes_per_member=100)
+
+
+class TestTargetsAndMultiplicity:
+    def test_sampling_target_rounds_up(self, model):
+        assert model.sampling_target(1) == 2   # ceil(3 * 0.5)
+        assert model.sampling_target(3) == 1
+        assert model.sampling_target(99) == 0
+
+    def test_cap_applies(self):
+        announced = {1: [Prefix.parse(f"11.{i}.0.0/24") for i in range(50)]}
+        model = QueryCostModel("X", announced, sample_fraction=1.0,
+                               max_prefixes_per_member=10)
+        assert model.sampling_target(1) == 10
+
+    def test_multiplicity(self, model):
+        multiplicity = model.prefix_multiplicity()
+        assert multiplicity[Prefix.parse("11.0.1.0/24")] == 3
+        assert multiplicity[Prefix.parse("11.0.0.0/24")] == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QueryCostModel("X", {}, sample_fraction=0)
+        with pytest.raises(ValueError):
+            QueryCostModel("X", {}, max_prefixes_per_member=0)
+
+
+class TestPlanning:
+    def test_plan_covers_all_targets(self, model):
+        plan = model.build_plan()
+        for asn, target in plan.targets.items():
+            assert plan.covered[asn] >= target
+
+    def test_shared_prefix_queried_once(self, model):
+        plan = model.build_plan()
+        # The shared prefix 11.0.1.0/24 satisfies members 2 and 3 (and part
+        # of member 1) with a single query.
+        assert plan.prefix_queries.count(Prefix.parse("11.0.1.0/24")) == 1
+        assert plan.num_prefix_queries < sum(plan.targets.values())
+
+    def test_skip_members(self, model):
+        plan = model.build_plan(skip_members={1})
+        assert 1 not in plan.targets
+        assert 1 in plan.skipped_members
+
+    def test_covered_prefixes_reduce_queries(self, model):
+        full_plan = model.build_plan()
+        reduced = model.build_plan(covered_prefixes={
+            2: prefixes("11.0.1.0/24"), 3: prefixes("11.0.1.0/24")})
+        assert reduced.num_prefix_queries <= full_plan.num_prefix_queries
+
+    def test_total_cost_formula(self, model):
+        plan = model.build_plan()
+        assert plan.total_cost(3) == 1 + 3 + plan.num_prefix_queries
+
+
+class TestCostBreakdown:
+    def test_ordering_of_strategies(self, model):
+        breakdown = model.cost_breakdown(passive_members={1})
+        assert breakdown.exhaustive >= breakdown.sampled >= breakdown.optimised
+        assert breakdown.with_passive <= breakdown.optimised
+        assert breakdown.exhaustive_over_optimised >= 1.0
+
+    def test_breakdown_on_larger_population(self, small_scenario):
+        """The optimisation should save a substantial factor on a real
+        route server (the paper reports 18x for DE-CIX)."""
+        rs = small_scenario.route_servers["DE-CIX"]
+        announced = {asn: rs.announced_prefixes(asn) for asn in rs.members()}
+        model = QueryCostModel("DE-CIX", announced)
+        breakdown = model.cost_breakdown()
+        assert breakdown.exhaustive_over_optimised > 1.5
+
+    def test_measurement_duration(self):
+        assert QueryCostModel.measurement_duration(6, 10, parallel_ixps=2) == 30
+        with pytest.raises(ValueError):
+            QueryCostModel.measurement_duration(6, 10, parallel_ixps=0)

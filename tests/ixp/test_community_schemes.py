@@ -1,0 +1,144 @@
+"""Tests for the per-IXP route-server community grammars (Table 1)."""
+
+import pytest
+
+from repro.bgp.asn import Private16BitMapper
+from repro.bgp.communities import Community
+from repro.ixp.community_schemes import (
+    CommunityScheme,
+    RSAction,
+    SchemeRegistry,
+    classify_against_schemes,
+)
+
+
+@pytest.fixture
+def decix():
+    return CommunityScheme.rs_asn_style("DE-CIX", 6695)
+
+
+@pytest.fixture
+def ecix():
+    return CommunityScheme.offset_style("ECIX", 9033)
+
+
+class TestTable1Encodings:
+    def test_decix_values_match_table1(self, decix):
+        assert decix.all_() == Community(6695, 6695)
+        assert decix.none() == Community(0, 6695)
+        assert decix.exclude(5410) == Community(0, 5410)
+        assert decix.include(8359) == Community(6695, 8359)
+
+    def test_ecix_values_match_table1(self, ecix):
+        assert ecix.all_() == Community(9033, 9033)
+        assert ecix.none() == Community(65000, 0)
+        assert ecix.exclude(5410) == Community(64960, 5410)
+        assert ecix.include(8359) == Community(65000, 8359)
+
+    def test_32bit_rs_asn_rejected(self):
+        with pytest.raises(ValueError):
+            CommunityScheme.rs_asn_style("X", 200000)
+
+    def test_from_style_dispatch(self):
+        assert CommunityScheme.from_style("rs-asn", "A", 100).include_high == 100
+        assert CommunityScheme.from_style("offset", "B", 100).exclude_high == 64960
+        assert CommunityScheme.from_style("zero-exclude", "C", 100).omit_all_by_default
+        with pytest.raises(ValueError):
+            CommunityScheme.from_style("bogus", "D", 100)
+
+    def test_table1_row(self, decix):
+        row = decix.table1_row()
+        assert row["ALL"] == "6695:6695"
+        assert row["EXCLUDE"] == "0:peer-asn"
+
+
+class TestClassification:
+    def test_classify_each_action(self, decix):
+        assert decix.classify(Community(6695, 6695)).action is RSAction.ALL
+        assert decix.classify(Community(0, 6695)).action is RSAction.NONE
+        excl = decix.classify(Community(0, 5410))
+        assert excl.action is RSAction.EXCLUDE and excl.peer_asn == 5410
+        incl = decix.classify(Community(6695, 8359))
+        assert incl.action is RSAction.INCLUDE and incl.peer_asn == 8359
+
+    def test_foreign_community_not_classified(self, decix):
+        assert decix.classify(Community(3356, 100)) is None
+        assert not decix.is_rs_community(Community(3356, 100))
+
+    def test_mentions_rs_asn(self, decix):
+        assert decix.mentions_rs_asn([Community(6695, 6695)])
+        assert decix.mentions_rs_asn([Community(0, 6695)])
+        assert not decix.mentions_rs_asn([Community(0, 5410)])
+
+    def test_figure2_example_none_include(self, decix):
+        """Figure 2a: 0:6695 6695:8359 6695:8447 -> only 8359 and 8447."""
+        communities = [Community(0, 6695), Community(6695, 8359),
+                       Community(6695, 8447)]
+        classified = decix.classify_set(communities)
+        actions = {c.action for _, c in classified}
+        assert RSAction.NONE in actions and RSAction.INCLUDE in actions
+
+    def test_figure2_example_all_exclude(self, decix):
+        """Figure 2b: 6695:6695 0:5410 0:8732 -> all except 5410, 8732."""
+        communities = [Community(6695, 6695), Community(0, 5410),
+                       Community(0, 8732)]
+        classified = decix.classify_set(communities)
+        excluded = {c.peer_asn for _, c in classified
+                    if c.action is RSAction.EXCLUDE}
+        assert excluded == {5410, 8732}
+
+
+class TestEncoding:
+    def test_encode_all_except(self, decix):
+        communities = decix.encode_policy("all-except", [5410, 8732])
+        assert Community(6695, 6695) in communities
+        assert Community(0, 5410) in communities
+        assert Community(0, 8732) in communities
+
+    def test_encode_none_except(self, decix):
+        communities = decix.encode_policy("none-except", [8359])
+        assert Community(0, 6695) in communities
+        assert Community(6695, 8359) in communities
+
+    def test_encode_unknown_mode_rejected(self, decix):
+        with pytest.raises(ValueError):
+            decix.encode_policy("sometimes", [])
+
+    def test_omit_all_by_default_leaves_bare_excludes(self):
+        mskix = CommunityScheme.zero_exclude_style("MSK-IX", 8631)
+        communities = mskix.encode_policy("all-except", [5410])
+        assert communities == frozenset({Community(0, 5410)})
+        # No community at all for the pure-default policy.
+        assert mskix.encode_policy("all-except", []) == frozenset()
+
+    def test_32bit_peer_requires_mapper(self, decix):
+        with pytest.raises(ValueError):
+            decix.exclude(200000)
+        mapper = Private16BitMapper()
+        mapper.register(200000)
+        community = decix.exclude(200000, mapper)
+        assert community.high == 0
+        assert mapper.resolve(community.low) == 200000
+
+    def test_encode_decode_roundtrip(self, ecix):
+        communities = ecix.encode_policy("all-except", [100, 200])
+        classified = ecix.classify_set(communities)
+        excluded = {c.peer_asn for _, c in classified
+                    if c.action is RSAction.EXCLUDE}
+        assert excluded == {100, 200}
+
+
+class TestRegistry:
+    def test_registry_lookup_and_table(self, decix, ecix):
+        registry = SchemeRegistry([decix, ecix])
+        assert registry.get("DE-CIX") is decix
+        assert "ECIX" in registry
+        assert len(registry) == 2
+        assert len(registry.table1()) == 2
+        assert registry.schemes_for_rs_asn(6695) == [decix]
+
+    def test_classify_against_schemes(self, decix, ecix):
+        registry = SchemeRegistry([decix, ecix])
+        matches = classify_against_schemes([Community(6695, 6695)], registry)
+        assert "DE-CIX" in matches
+        assert "ECIX" not in matches

@@ -1,0 +1,119 @@
+"""Tests for the RPSL parser, IRR database and PeeringDB substrates."""
+
+import pytest
+
+from repro.registries.irr import ASSet, AutNumPolicy, IRRDatabase
+from repro.registries.peeringdb import PeeringDB, PeeringDBRecord
+from repro.registries.rpsl import (
+    RPSLObject,
+    parse_as_references,
+    parse_rpsl,
+    serialise_rpsl,
+)
+from repro.topology.as_graph import GeographicScope, PeeringPolicy
+
+SAMPLE_RPSL = """
+aut-num: AS8359
+as-name: MTS
+import: from AS6695 accept ANY
+export: to AS6695 announce AS-MTS
+source: RIPE
+
+as-set: AS-DECIX-RS
+members: AS8359, AS8447
+members: AS15169
+source: RIPE
+"""
+
+
+class TestRPSL:
+    def test_parse_objects(self):
+        objects = parse_rpsl(SAMPLE_RPSL)
+        assert len(objects) == 2
+        aut_num = objects[0]
+        assert aut_num.object_class == "aut-num"
+        assert aut_num.key == "AS8359"
+        assert aut_num.first("as-name") == "MTS"
+        assert aut_num.values("import") == ["from AS6695 accept ANY"]
+
+    def test_continuation_lines(self):
+        text = "as-set: AS-X\nmembers: AS1,\n AS2\n"
+        objects = parse_rpsl(text)
+        assert parse_as_references(objects[0].values("members")[0]) == [1, 2]
+
+    def test_comments_ignored(self):
+        objects = parse_rpsl("# comment\naut-num: AS5\nsource: RADB\n")
+        assert objects[0].source == "RADB"
+
+    def test_serialise_roundtrip(self):
+        objects = parse_rpsl(SAMPLE_RPSL)
+        text = serialise_rpsl(objects)
+        reparsed = parse_rpsl(text)
+        assert [o.key for o in reparsed] == [o.key for o in objects]
+
+    def test_parse_as_references(self):
+        assert parse_as_references("from AS6695 accept ANY") == [6695]
+        assert parse_as_references("AS1, AS2 AS-FOO as3") == [1, 2, 3]
+        assert parse_as_references("nothing here") == []
+
+
+class TestIRRDatabase:
+    def test_load_rpsl_objects(self):
+        irr = IRRDatabase()
+        count = irr.load_rpsl_objects(parse_rpsl(SAMPLE_RPSL))
+        assert count == 2
+        assert irr.aut_num(8359) is not None
+        assert irr.as_set("as-decix-rs").members == {8359, 8447, 15169}
+
+    def test_aut_num_policy_semantics(self):
+        policy = AutNumPolicy(asn=1, blocked_import={5}, blocked_export={5, 6})
+        assert not policy.import_allows(5)
+        assert policy.import_allows(6)
+        assert not policy.export_allows(6)
+        assert policy.references_asn(5)
+
+    def test_find_as_sets_containing(self):
+        irr = IRRDatabase()
+        irr.register_as_set(ASSet(name="AS-A", members={1, 2}))
+        irr.register_as_set(ASSet(name="AS-B", members={2, 3}))
+        assert {s.name for s in irr.find_as_sets_containing(2)} == {"AS-A", "AS-B"}
+
+    def test_ases_referencing_rs_asn(self):
+        irr = IRRDatabase()
+        irr.register_aut_num(AutNumPolicy(asn=10, rs_peers={8714}))
+        irr.register_aut_num(AutNumPolicy(asn=11, rs_peers={6695}))
+        assert irr.ases_referencing(8714) == [10]
+
+    def test_len(self):
+        irr = IRRDatabase()
+        irr.register_aut_num(AutNumPolicy(asn=1))
+        irr.register_as_set(ASSet(name="AS-X"))
+        assert len(irr) == 2
+
+
+class TestPeeringDB:
+    def test_register_and_query(self):
+        db = PeeringDB()
+        db.register(PeeringDBRecord(asn=15169, name="Google",
+                                    policy=PeeringPolicy.OPEN,
+                                    scope=GeographicScope.GLOBAL,
+                                    ixps={"DE-CIX", "AMS-IX"}))
+        assert db.policy_of(15169) is PeeringPolicy.OPEN
+        assert db.scope_of(15169) is GeographicScope.GLOBAL
+        assert db.networks_at_ixp("DE-CIX") == [15169]
+        assert db.networks_with_policy(PeeringPolicy.OPEN) == [15169]
+        assert 15169 in db and len(db) == 1
+
+    def test_unregistered_network_defaults(self):
+        db = PeeringDB()
+        assert db.record(1) is None
+        assert db.policy_of(1) is PeeringPolicy.UNKNOWN
+        assert db.scope_of(1) is GeographicScope.NOT_AVAILABLE
+
+    def test_looking_glasses(self):
+        db = PeeringDB()
+        db.add_looking_glass(10, "https://lg.example", display_all_paths=False)
+        db.add_looking_glass(20, "https://lg2.example")
+        assert len(db.looking_glasses()) == 2
+        assert len(db.looking_glasses(relevant_asns={10})) == 1
+        assert db.looking_glasses(relevant_asns={10})[0].display_all_paths is False

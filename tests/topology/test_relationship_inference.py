@@ -1,0 +1,96 @@
+"""Tests for AS-Rank-style relationship inference from AS paths."""
+
+import pytest
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.policy import Relationship
+from repro.topology.relationship_inference import RelationshipInference
+
+
+def paths_from(tuples):
+    return [ASPath(t) for t in tuples]
+
+
+class TestSmallTopology:
+    @pytest.fixture
+    def inferred(self):
+        # Clique {1, 2}; 10 and 11 are customers of 1; 20 customer of 2;
+        # 30 customer of 10.  Observer paths from several vantage points.
+        paths = paths_from([
+            (10, 1, 2, 20),
+            (11, 1, 2, 20),
+            (20, 2, 1, 10),
+            (20, 2, 1, 11),
+            (30, 10, 1, 2, 20),
+            (10, 1, 11),
+            (20, 2, 1, 10, 30),
+            (11, 1, 10, 30),
+        ])
+        return RelationshipInference(clique_size=2).infer(paths)
+
+    def test_clique_link_is_p2p(self, inferred):
+        assert inferred.relationship(1, 2) is Relationship.PEER
+
+    def test_customer_links_oriented_correctly(self, inferred):
+        assert (10, 1) in inferred.c2p
+        assert (20, 2) in inferred.c2p
+        assert (30, 10) in inferred.c2p
+
+    def test_relationship_view(self, inferred):
+        assert inferred.relationship(10, 1) is Relationship.PROVIDER
+        assert inferred.relationship(1, 10) is Relationship.CUSTOMER
+        assert inferred.relationship(10, 999) is None
+
+    def test_customer_cone_from_inferred_links(self, inferred):
+        assert inferred.customer_cone(1) >= {1, 10, 11, 30}
+        assert inferred.customer_cone(10) == {10, 30}
+
+    def test_customer_degree(self, inferred):
+        assert inferred.customer_degree(1) >= 2
+        assert inferred.customer_degree(30) == 0
+
+    def test_relationship_map_is_consistent(self, inferred):
+        relmap = inferred.relationship_map()
+        assert relmap[(10, 1)] is Relationship.PROVIDER
+        assert relmap[(1, 10)] is Relationship.CUSTOMER
+
+
+class TestSanitisation:
+    def test_dirty_paths_ignored(self):
+        paths = paths_from([(10, 23456, 20), (10, 20, 10)])
+        inferred = RelationshipInference().infer(paths)
+        assert not inferred.links()
+
+    def test_prepending_collapsed(self):
+        paths = paths_from([(10, 1, 1, 1, 2, 20), (20, 2, 1, 10)])
+        inferred = RelationshipInference(clique_size=2).infer(paths)
+        assert (min(1, 2), max(1, 2)) in inferred.links()
+
+    def test_empty_input(self):
+        inferred = RelationshipInference().infer([])
+        assert not inferred.links()
+        assert not inferred.clique
+
+
+class TestAgainstGroundTruth:
+    def test_accuracy_on_synthetic_internet(self, small_scenario):
+        """Relationship inference over the scenario's public BGP paths
+        should classify visible c2p links with high accuracy (the paper
+        relies on >99% accuracy from [32])."""
+        graph = small_scenario.graph
+        entries = small_scenario.archive.clean_stable_entries()
+        paths = [entry.as_path for entry in entries]
+        inferred = RelationshipInference(clique_size=8).infer(paths)
+
+        correct = 0
+        wrong = 0
+        for customer, provider in inferred.c2p:
+            truth = graph.relationship(customer, provider)
+            if truth is None:
+                continue
+            if truth is Relationship.PROVIDER:       # provider of customer
+                correct += 1
+            elif truth is Relationship.CUSTOMER:
+                wrong += 1
+        assert correct + wrong > 0
+        assert correct / (correct + wrong) > 0.90

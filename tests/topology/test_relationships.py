@@ -1,0 +1,95 @@
+"""Tests for link types and valley-free path classification."""
+
+from repro.bgp.policy import Relationship
+from repro.topology.relationships import (
+    LinkType,
+    classify_path,
+    count_peering_steps,
+    is_valley_free,
+    link_type_from_relationship,
+)
+
+
+def relmap(entries):
+    """entries: list of (a, b, relationship of b seen from a)."""
+    result = {}
+    for a, b, rel in entries:
+        result[(a, b)] = rel
+        result[(b, a)] = rel.inverse()
+    return result
+
+
+class TestLinkType:
+    def test_mapping_from_relationship(self):
+        assert link_type_from_relationship(Relationship.CUSTOMER) is LinkType.C2P
+        assert link_type_from_relationship(Relationship.PROVIDER) is LinkType.C2P
+        assert link_type_from_relationship(Relationship.PEER) is LinkType.P2P
+        assert link_type_from_relationship(Relationship.RS_PEER) is LinkType.RS_P2P
+        assert link_type_from_relationship(Relationship.SIBLING) is LinkType.SIBLING
+
+    def test_is_peering(self):
+        assert LinkType.P2P.is_peering and LinkType.RS_P2P.is_peering
+        assert not LinkType.C2P.is_peering
+
+
+class TestValleyFree:
+    def test_pure_uphill_downhill(self):
+        # Path (observer first): 30 20 10, where 10 is customer of 20 and
+        # 20 customer of 30: route climbed from 10 to 30.
+        relationships = relmap([(20, 10, Relationship.CUSTOMER),
+                                (30, 20, Relationship.CUSTOMER)])
+        assert is_valley_free([30, 20, 10], relationships)
+
+    def test_single_peak_with_peer(self):
+        relationships = relmap([
+            (20, 10, Relationship.CUSTOMER),   # 10 customer of 20
+            (20, 30, Relationship.PEER),
+            (30, 40, Relationship.CUSTOMER),   # 40 customer of 30
+        ])
+        # Observer 40 sees path 40? path is [40, 30, 20, 10]? Observer-side
+        # first: 40 learned from 30, 30 from 20 (peer), 20 from customer 10.
+        assert is_valley_free([40, 30, 20, 10], relationships)
+
+    def test_valley_detected(self):
+        # 10 -> up to 20 -> down to 30 -> up to 40 is a valley.
+        relationships = relmap([
+            (20, 10, Relationship.CUSTOMER),
+            (20, 30, Relationship.PROVIDER),   # 30 is 20's provider? no:
+        ])
+        relationships = relmap([
+            (20, 10, Relationship.CUSTOMER),   # 10 customer of 20
+            (30, 20, Relationship.PROVIDER),   # 20 is provider of 30 -> 30 customer of 20
+            (40, 30, Relationship.CUSTOMER),   # 30 customer of 40
+        ])
+        assert classify_path([40, 30, 20, 10], relationships) == "valley"
+
+    def test_two_peering_links_is_a_valley(self):
+        relationships = relmap([
+            (20, 10, Relationship.PEER),
+            (30, 20, Relationship.PEER),
+        ])
+        assert classify_path([30, 20, 10], relationships) == "valley"
+        assert count_peering_steps([30, 20, 10], relationships) == 2
+
+    def test_unknown_relationship_returns_none(self):
+        assert classify_path([1, 2, 3], {}) is None
+
+    def test_short_and_prepended_paths(self):
+        assert classify_path([10], {}) == "valley-free"
+        relationships = relmap([(20, 10, Relationship.CUSTOMER)])
+        assert is_valley_free([20, 20, 10, 10], relationships)
+
+    def test_sibling_hops_ignored(self):
+        relationships = relmap([
+            (20, 10, Relationship.CUSTOMER),
+            (21, 20, Relationship.SIBLING),
+            (21, 30, Relationship.PEER),
+        ])
+        assert is_valley_free([30, 21, 20, 10], relationships)
+
+    def test_count_peering_steps_single(self):
+        relationships = relmap([
+            (20, 10, Relationship.CUSTOMER),
+            (30, 20, Relationship.PEER),
+        ])
+        assert count_peering_steps([30, 20, 10], relationships) == 1
