@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Run every bench_* module and write a BENCH_<date>.json trajectory file.
+
+Each benchmark module is executed in its own pytest subprocess so that
+wall time and peak RSS are attributable per bench; the JSON trajectory
+(one file per invocation, named after the current date) makes speedups
+and regressions trackable across PRs:
+
+    python benchmarks/run_all.py                # all benches
+    python benchmarks/run_all.py fig1 substrate # substring filter
+    python benchmarks/run_all.py --out results.json
+
+Requires pytest + pytest-benchmark (the tier-1 test environment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def discover_benches(filters: list[str]) -> list[Path]:
+    benches = sorted(BENCH_DIR.glob("bench_*.py"))
+    if filters:
+        benches = [path for path in benches
+                   if any(token in path.name for token in filters)]
+    return benches
+
+
+def run_bench(path: Path, timeout: float) -> dict:
+    """Run one bench module under pytest, measuring wall time + peak RSS.
+
+    The child is reaped with ``os.wait4`` so the recorded ``ru_maxrss``
+    belongs to this bench alone (``RUSAGE_CHILDREN`` would report the
+    running maximum over every bench reaped so far).
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    command = [sys.executable, "-m", "pytest", str(path), "-q",
+               "--benchmark-only", "--benchmark-disable-gc"]
+    started = time.monotonic()
+    process = subprocess.Popen(
+        command, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    timed_out = False
+
+    def _kill() -> None:
+        nonlocal timed_out
+        timed_out = True
+        process.kill()
+
+    timer = threading.Timer(timeout, _kill)
+    timer.start()
+    try:
+        output = process.stdout.read()
+    finally:
+        timer.cancel()
+    _, status, usage = os.wait4(process.pid, 0)
+    process.returncode = os.waitstatus_to_exitcode(status)
+    wall = time.monotonic() - started
+    max_rss_kb = usage.ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes, Linux kilobytes
+        max_rss_kb //= 1024
+    return {
+        "bench": path.stem,
+        "returncode": process.returncode,
+        "timed_out": timed_out,
+        "wall_seconds": round(wall, 3),
+        "max_rss_kb": max_rss_kb,
+        "tail": output.splitlines()[-3:] if output else [],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("filters", nargs="*",
+                        help="substring filters on bench file names")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path (default BENCH_<date>.json)")
+    parser.add_argument("--timeout", type=float, default=900.0,
+                        help="per-bench timeout in seconds")
+    args = parser.parse_args()
+
+    benches = discover_benches(args.filters)
+    if not benches:
+        print("no bench modules matched", file=sys.stderr)
+        return 2
+
+    results = []
+    for path in benches:
+        print(f"[run_all] {path.name} ...", flush=True)
+        record = run_bench(path, args.timeout)
+        status = "ok" if record["returncode"] == 0 else "FAIL"
+        print(f"[run_all]   {status} in {record['wall_seconds']}s "
+              f"(max rss {record['max_rss_kb']} kB)", flush=True)
+        results.append(record)
+
+    today = datetime.date.today().isoformat()
+    out_path = args.out or (REPO_ROOT / f"BENCH_{today}.json")
+    trajectory = {
+        "date": today,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benches": results,
+    }
+    out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"[run_all] wrote {out_path}")
+    return 1 if any(r["returncode"] != 0 for r in results) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

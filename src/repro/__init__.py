@@ -2,6 +2,10 @@
 
 The package is organised around the paper's pipeline:
 
+* :mod:`repro.runtime` — shared runtime substrate: value interning, the
+  CSR adjacency index, structure-shared path/community stores, and the
+  :class:`~repro.runtime.context.PipelineContext` threaded through every
+  layer (see ARCHITECTURE.md).
 * :mod:`repro.bgp` — BGP substrate: prefixes, communities, routes, RIBs,
   policies and a valley-free propagation engine.
 * :mod:`repro.topology` — AS-level topology substrate: relationships,
@@ -25,11 +29,13 @@ The convenience re-exports below are resolved lazily so that importing
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+#: Kept in sync with pyproject.toml.
+__version__ = "1.1.0"
 
 __all__ = [
     "MLPInferenceEngine",
     "MLPInferenceResult",
+    "PipelineContext",
     "build_europe2013",
     "ScenarioConfig",
     "__version__",
@@ -37,11 +43,13 @@ __all__ = [
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers only
     from repro.core.engine import MLPInferenceEngine, MLPInferenceResult
+    from repro.runtime.context import PipelineContext
     from repro.scenarios.europe2013 import ScenarioConfig, build_europe2013
 
 _LAZY_EXPORTS = {
     "MLPInferenceEngine": ("repro.core.engine", "MLPInferenceEngine"),
     "MLPInferenceResult": ("repro.core.engine", "MLPInferenceResult"),
+    "PipelineContext": ("repro.runtime.context", "PipelineContext"),
     "build_europe2013": ("repro.scenarios.europe2013", "build_europe2013"),
     "ScenarioConfig": ("repro.scenarios.europe2013", "ScenarioConfig"),
 }

@@ -21,6 +21,15 @@ Within a phase, shorter AS paths win; across phases, earlier phases win
 Ties break on the lowest neighbour ASN, which makes propagation fully
 deterministic.
 
+The computation itself runs on the :mod:`repro.runtime` substrate: a
+CSR adjacency index built once per topology, per-AS best-route state in
+parallel integer arrays, and paths/community bags interned in shared
+stores (see :class:`~repro.runtime.frontier.FrontierPropagator`).
+Routes are only materialised into tuples/frozensets for the ASes
+actually recorded.  The original object-graph engine survives as
+:class:`~repro.bgp.reference_propagation.ReferencePropagationEngine`
+and the two are property-tested for equivalence.
+
 Route-server peering is modelled with directed :class:`Adjacency` entries
 carrying the RS communities the exporting member attached, so the
 communities show up — transitively — in collector feeds exactly as the
@@ -29,19 +38,32 @@ paper describes in section 4.2.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.communities import Community
 from repro.bgp.policy import Relationship
 from repro.bgp.prefix import Prefix
+from repro.runtime.frontier import (
+    CLASS_CUSTOMER,
+    CLASS_ORIGIN,
+    CLASS_PEER,
+    CLASS_PROVIDER,
+    OriginState,
+)
 
-#: Provenance classes, in decreasing preference.
-CLASS_ORIGIN = 0
-CLASS_CUSTOMER = 1
-CLASS_PEER = 2
-CLASS_PROVIDER = 3
+__all__ = [
+    "Adjacency",
+    "CLASS_CUSTOMER",
+    "CLASS_ORIGIN",
+    "CLASS_PEER",
+    "CLASS_PROVIDER",
+    "OriginSpec",
+    "PropagatedRoute",
+    "PropagationEngine",
+    "PropagationResult",
+    "bidirectional_adjacencies",
+]
 
 _CLASS_NAMES = {
     CLASS_ORIGIN: "origin",
@@ -175,6 +197,11 @@ class PropagationResult:
         """Mapping origin ASN -> best route at *observer_asn*."""
         return dict(self._best.get(observer_asn, {}))
 
+    def iter_routes_at(self, observer_asn: int) -> Iterable[Tuple[int, PropagatedRoute]]:
+        """Iterate ``(origin ASN, best route)`` pairs at *observer_asn*
+        without copying the underlying mapping."""
+        return self._best.get(observer_asn, {}).items()
+
     def all_paths(self, observer_asn: int, origin_asn: int) -> List[PropagatedRoute]:
         """All candidate routes offered to *observer_asn* for *origin_asn*
         (best first).  Falls back to the best route only when alternatives
@@ -211,37 +238,64 @@ class PropagationEngine:
     adjacencies:
         Directed :class:`Adjacency` entries.  For an ordinary undirected
         link both directions must be supplied (use
-        :func:`bidirectional_adjacencies` for convenience).
+        :func:`bidirectional_adjacencies` for convenience).  May be
+        omitted when *context* carries a pre-built index.
     record_at:
         ASes whose resulting routes should be kept in the result.  If
         None, every AS is recorded (only advisable for small topologies).
     record_alternatives_at:
         Subset of observers for which all offered candidate routes (the
         Adj-RIB-In) are retained, not just the best one.
+    context:
+        Optional :class:`~repro.runtime.context.PipelineContext`.  When
+        given, the engine shares the context's CSR index, path/bag
+        stores, scratch arrays and per-origin route memoisation with
+        every other engine created from the same context; when omitted a
+        private context is built from *adjacencies*.
     """
 
     def __init__(
         self,
-        adjacencies: Iterable[Adjacency],
+        adjacencies: Optional[Iterable[Adjacency]] = None,
         record_at: Optional[Iterable[int]] = None,
         record_alternatives_at: Optional[Iterable[int]] = None,
+        context=None,
     ) -> None:
-        self._out: Dict[int, List[Adjacency]] = {}
-        self._nodes: Set[int] = set()
-        for adj in adjacencies:
-            self._out.setdefault(adj.source, []).append(adj)
-            self._nodes.add(adj.source)
-            self._nodes.add(adj.target)
-        for edges in self._out.values():
-            edges.sort(key=lambda a: a.target)
+        if context is None:
+            if adjacencies is None:
+                raise ValueError(
+                    "adjacencies are required when no context is given")
+            from repro.runtime.context import PipelineContext
+            context = PipelineContext.from_adjacencies(adjacencies)
+        elif adjacencies is not None:
+            raise ValueError(
+                "pass either adjacencies or a context with a built index, "
+                "not both")
+        self._ctx = context
+        self._index = context.index
+        self._bags = context.bags
+        self._paths = context.paths
         self._record_at = set(record_at) if record_at is not None else None
         self._record_alt_at = set(record_alternatives_at or ())
+        id_of = self._index.id_of
+        self._alt_nodes = frozenset(
+            id_of[asn] for asn in self._record_alt_at if asn in id_of)
+        #: memoisation signature: same record config -> shareable fragments.
+        self._record_sig = (
+            frozenset(self._record_at) if self._record_at is not None else None,
+            frozenset(self._record_alt_at),
+        )
 
     # -- public API ----------------------------------------------------------
 
+    @property
+    def context(self):
+        """The :class:`PipelineContext` the engine runs on."""
+        return self._ctx
+
     def nodes(self) -> Set[int]:
         """All ASNs known to the engine."""
-        return set(self._nodes)
+        return set(self._index.node_asns)
 
     def propagate(self, origins: Iterable[OriginSpec]) -> PropagationResult:
         """Propagate every origin and return the recorded routes."""
@@ -259,200 +313,80 @@ class PropagationEngine:
 
     def _propagate_one(self, spec: OriginSpec, result: PropagationResult) -> None:
         origin = spec.asn
-        if origin not in self._nodes and origin not in self._out:
-            # Origin is isolated; it still holds its own route.
-            pass
-
-        #: asn -> (provenance, pathlen, learned_from, path, communities)
-        state: Dict[int, PropagatedRoute] = {}
-        offers: Dict[int, List[PropagatedRoute]] = {}
-
-        origin_route = PropagatedRoute(
-            asn=origin,
-            path=(origin,),
-            communities=frozenset(spec.communities),
-            provenance=CLASS_ORIGIN,
-            learned_from=None,
-        )
-        state[origin] = origin_route
-
-        # Phase 1: customer routes climb provider chains (and sibling links).
-        self._run_phase(
-            state,
-            offers,
-            frontier=[origin],
-            allowed_relationships=(Relationship.CUSTOMER, Relationship.SIBLING),
-            provenance=CLASS_CUSTOMER,
-            export_requires=CLASS_CUSTOMER,
-        )
-
-        # Phase 2: one hop across peering links (bilateral and route-server).
-        peer_sources = [asn for asn, route in state.items()
-                        if route.provenance <= CLASS_CUSTOMER]
-        self._run_single_hop(
-            state,
-            offers,
-            sources=peer_sources,
-            allowed_relationships=(Relationship.PEER, Relationship.RS_PEER),
-            provenance=CLASS_PEER,
-        )
-
-        # Phase 3: everything propagates down to customers.
-        provider_sources = list(state.keys())
-        self._run_phase(
-            state,
-            offers,
-            frontier=provider_sources,
-            allowed_relationships=(Relationship.PROVIDER, Relationship.SIBLING),
-            provenance=CLASS_PROVIDER,
-            export_requires=CLASS_PROVIDER,
-        )
-
-        self._record(spec, state, offers, result)
-
-    def _run_phase(
-        self,
-        state: Dict[int, PropagatedRoute],
-        offers: Dict[int, List[PropagatedRoute]],
-        frontier: List[int],
-        allowed_relationships: Tuple[Relationship, ...],
-        provenance: int,
-        export_requires: int,
-    ) -> None:
-        """Breadth-first propagation along the given relationship classes.
-
-        ``export_requires`` caps the provenance class an AS must hold to
-        keep exporting inside this phase (customer phase: only own/customer
-        routes climb; provider phase: anything flows down).
-        """
-        heap: List[Tuple[int, int, int]] = []
-        counter = 0
-        for asn in frontier:
-            route = state.get(asn)
-            if route is None:
-                continue
-            heapq.heappush(heap, (len(route.path), asn, counter))
-            counter += 1
-
-        while heap:
-            _, source, _ = heapq.heappop(heap)
-            source_route = state.get(source)
-            if source_route is None:
-                continue
-            if source_route.provenance > export_requires:
-                continue
-            for adj in self._out.get(source, ()):
-                if adj.relationship not in allowed_relationships:
-                    continue
-                candidate = self._build_candidate(adj, source_route, provenance)
-                self._offer(offers, adj.target, candidate)
-                if self._better(candidate, state.get(adj.target)):
-                    state[adj.target] = candidate
-                    heapq.heappush(heap, (len(candidate.path), adj.target, counter))
-                    counter += 1
-
-    def _run_single_hop(
-        self,
-        state: Dict[int, PropagatedRoute],
-        offers: Dict[int, List[PropagatedRoute]],
-        sources: List[int],
-        allowed_relationships: Tuple[Relationship, ...],
-        provenance: int,
-    ) -> None:
-        """One-hop propagation used for the peering phase."""
-        updates: Dict[int, PropagatedRoute] = {}
-        for source in sorted(sources):
-            source_route = state.get(source)
-            if source_route is None or source_route.provenance > CLASS_CUSTOMER:
-                continue
-            for adj in self._out.get(source, ()):
-                if adj.relationship not in allowed_relationships:
-                    continue
-                candidate = self._build_candidate(adj, source_route, provenance)
-                self._offer(offers, adj.target, candidate)
-                current = state.get(adj.target)
-                pending = updates.get(adj.target)
-                best_existing = pending if self._better_or_equal(pending, current) else current
-                if self._better(candidate, best_existing):
-                    updates[adj.target] = candidate
-        for asn, candidate in updates.items():
-            if self._better(candidate, state.get(asn)):
-                state[asn] = candidate
-
-    def _build_candidate(
-        self,
-        adj: Adjacency,
-        source_route: PropagatedRoute,
-        provenance: int,
-    ) -> PropagatedRoute:
-        received = source_route.path
-        if adj.via_rs_asn is not None and not adj.rs_transparent:
-            received = (adj.via_rs_asn,) + received
-        path = (adj.target,) + received
-        communities = source_route.communities
-        if adj.communities:
-            communities = communities | adj.communities
-        # Sibling links are transparent: they keep the exporter's provenance.
-        if adj.relationship is Relationship.SIBLING:
-            new_provenance = source_route.provenance
-        else:
-            new_provenance = max(provenance, source_route.provenance) \
-                if provenance == CLASS_PROVIDER else provenance
-        if provenance == CLASS_PROVIDER and adj.relationship is Relationship.PROVIDER:
-            new_provenance = CLASS_PROVIDER
-        return PropagatedRoute(
-            asn=adj.target,
-            path=path,
-            communities=communities,
-            provenance=new_provenance,
-            learned_from=adj.source,
-        )
-
-    @staticmethod
-    def _key(route: PropagatedRoute) -> Tuple[int, int, int]:
-        return (route.provenance, len(route.path),
-                route.learned_from if route.learned_from is not None else -1)
-
-    def _better(self, candidate: PropagatedRoute, current: Optional[PropagatedRoute]) -> bool:
-        if candidate is None:
-            return False
-        if current is None:
-            return True
-        return self._key(candidate) < self._key(current)
-
-    def _better_or_equal(
-        self, candidate: Optional[PropagatedRoute], current: Optional[PropagatedRoute]
-    ) -> bool:
-        if candidate is None:
-            return False
-        if current is None:
-            return True
-        return self._key(candidate) <= self._key(current)
-
-    def _offer(
-        self,
-        offers: Dict[int, List[PropagatedRoute]],
-        target: int,
-        candidate: PropagatedRoute,
-    ) -> None:
-        if target in self._record_alt_at:
-            offers.setdefault(target, []).append(candidate)
-
-    def _record(
-        self,
-        spec: OriginSpec,
-        state: Dict[int, PropagatedRoute],
-        offers: Dict[int, List[PropagatedRoute]],
-        result: PropagationResult,
-    ) -> None:
+        origin_bag = self._bags.intern(frozenset(spec.communities)) \
+            if spec.communities else self._bags.EMPTY
         recordable = self._record_at
-        for asn, route in state.items():
-            if recordable is None or asn in recordable:
-                result._record_best(spec.asn, route)
-        for asn, candidates in offers.items():
-            if recordable is None or asn in recordable:
-                for candidate in candidates:
-                    result._record_alternative(spec.asn, candidate)
+        origin_node = self._index.id_of.get(origin)
+
+        if origin_node is None:
+            # Origin is isolated; it still holds its own route.
+            if recordable is None or origin in recordable:
+                result._record_best(origin, PropagatedRoute(
+                    asn=origin,
+                    path=(origin,),
+                    communities=self._bags.value(origin_bag),
+                    provenance=CLASS_ORIGIN,
+                    learned_from=None,
+                ))
+            return
+
+        # Memoise per-origin fragments only when recording is bounded to
+        # explicit observers: a record-everything engine would pin
+        # O(origins x nodes) materialised routes to the shared context.
+        memoizable = self._record_at is not None
+        cache = self._ctx.route_cache
+        key = (origin, origin_bag, self._record_sig)
+        fragments = cache.get(key) if memoizable else None
+        if fragments is None:
+            state = self._ctx.propagator.run(
+                origin_node, origin_bag, self._alt_nodes)
+            fragments = self._materialize(state)
+            if memoizable:
+                cache[key] = fragments
+        best_routes, offered_routes = fragments
+        for route in best_routes:
+            result._record_best(origin, route)
+        for route in offered_routes:
+            result._record_alternative(origin, route)
+
+    def _materialize(
+        self, state: OriginState
+    ) -> Tuple[List[PropagatedRoute], List[PropagatedRoute]]:
+        """Convert interned per-node state into routes for the recorded
+        observers — the only place ids become ASNs/tuples again."""
+        node_asns = self._index.node_asns
+        materialize = self._paths.materialize
+        bag_value = self._bags.value
+        recordable = self._record_at
+
+        best: List[PropagatedRoute] = []
+        cls_, frm, pid, bag = state.cls, state.frm, state.pid, state.bag
+        for node in state.touched:
+            asn = node_asns[node]
+            if recordable is not None and asn not in recordable:
+                continue
+            learned = frm[node]
+            best.append(PropagatedRoute(
+                asn=asn,
+                path=materialize(pid[node]),
+                communities=bag_value(bag[node]),
+                provenance=cls_[node],
+                learned_from=node_asns[learned] if learned >= 0 else None,
+            ))
+
+        offered: List[PropagatedRoute] = []
+        for node, ccls, _clen, exporter, path_id, bag_id in state.offers:
+            asn = node_asns[node]
+            if recordable is not None and asn not in recordable:
+                continue
+            offered.append(PropagatedRoute(
+                asn=asn,
+                path=materialize(path_id),
+                communities=bag_value(bag_id),
+                provenance=ccls,
+                learned_from=node_asns[exporter],
+            ))
+        return best, offered
 
 
 def bidirectional_adjacencies(

@@ -1,0 +1,266 @@
+"""The original object-graph propagation engine, kept as the oracle.
+
+This is the seed implementation of the three-phase valley-free
+computation, materialising a :class:`PropagatedRoute` (tuple path +
+frozenset communities) for every candidate.  It is quadratic in memory
+at scale and has been replaced by the array-based frontier engine in
+:mod:`repro.bgp.propagation`; it is retained verbatim so the equivalence
+property tests can check the rewrite against it on randomized
+topologies, and as executable documentation of the algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bgp.policy import Relationship
+from repro.bgp.propagation import (
+    Adjacency,
+    CLASS_CUSTOMER,
+    CLASS_ORIGIN,
+    CLASS_PEER,
+    CLASS_PROVIDER,
+    OriginSpec,
+    PropagatedRoute,
+    PropagationResult,
+)
+
+
+class ReferencePropagationEngine:
+    """Propagate origins over a policy-annotated adjacency set.
+
+    Same public API and identical routing semantics as
+    :class:`~repro.bgp.propagation.PropagationEngine`; see that class
+    for parameter documentation.
+    """
+
+    def __init__(
+        self,
+        adjacencies: Iterable[Adjacency],
+        record_at: Optional[Iterable[int]] = None,
+        record_alternatives_at: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._out: Dict[int, List[Adjacency]] = {}
+        self._nodes: Set[int] = set()
+        for adj in adjacencies:
+            self._out.setdefault(adj.source, []).append(adj)
+            self._nodes.add(adj.source)
+            self._nodes.add(adj.target)
+        for edges in self._out.values():
+            edges.sort(key=lambda a: a.target)
+        self._record_at = set(record_at) if record_at is not None else None
+        self._record_alt_at = set(record_alternatives_at or ())
+
+    # -- public API ----------------------------------------------------------
+
+    def nodes(self) -> Set[int]:
+        """All ASNs known to the engine."""
+        return set(self._nodes)
+
+    def propagate(self, origins: Iterable[OriginSpec]) -> PropagationResult:
+        """Propagate every origin and return the recorded routes."""
+        result = PropagationResult()
+        for spec in origins:
+            result._record_origin(spec)
+            self._propagate_one(spec, result)
+        return result
+
+    def propagate_origin(self, spec: OriginSpec) -> PropagationResult:
+        """Propagate a single origin (convenience wrapper)."""
+        return self.propagate([spec])
+
+    # -- internals -----------------------------------------------------------
+
+    def _propagate_one(self, spec: OriginSpec, result: PropagationResult) -> None:
+        origin = spec.asn
+
+        state: Dict[int, PropagatedRoute] = {}
+        offers: Dict[int, List[PropagatedRoute]] = {}
+
+        origin_route = PropagatedRoute(
+            asn=origin,
+            path=(origin,),
+            communities=frozenset(spec.communities),
+            provenance=CLASS_ORIGIN,
+            learned_from=None,
+        )
+        state[origin] = origin_route
+
+        # Phase 1: customer routes climb provider chains (and sibling links).
+        self._run_phase(
+            state,
+            offers,
+            frontier=[origin],
+            allowed_relationships=(Relationship.CUSTOMER, Relationship.SIBLING),
+            provenance=CLASS_CUSTOMER,
+            export_requires=CLASS_CUSTOMER,
+        )
+
+        # Phase 2: one hop across peering links (bilateral and route-server).
+        peer_sources = [asn for asn, route in state.items()
+                        if route.provenance <= CLASS_CUSTOMER]
+        self._run_single_hop(
+            state,
+            offers,
+            sources=peer_sources,
+            allowed_relationships=(Relationship.PEER, Relationship.RS_PEER),
+            provenance=CLASS_PEER,
+        )
+
+        # Phase 3: everything propagates down to customers.
+        provider_sources = list(state.keys())
+        self._run_phase(
+            state,
+            offers,
+            frontier=provider_sources,
+            allowed_relationships=(Relationship.PROVIDER, Relationship.SIBLING),
+            provenance=CLASS_PROVIDER,
+            export_requires=CLASS_PROVIDER,
+        )
+
+        self._record(spec, state, offers, result)
+
+    def _run_phase(
+        self,
+        state: Dict[int, PropagatedRoute],
+        offers: Dict[int, List[PropagatedRoute]],
+        frontier: List[int],
+        allowed_relationships: Tuple[Relationship, ...],
+        provenance: int,
+        export_requires: int,
+    ) -> None:
+        """Breadth-first propagation along the given relationship classes.
+
+        ``export_requires`` caps the provenance class an AS must hold to
+        keep exporting inside this phase (customer phase: only own/customer
+        routes climb; provider phase: anything flows down).
+        """
+        heap: List[Tuple[int, int, int]] = []
+        counter = 0
+        for asn in frontier:
+            route = state.get(asn)
+            if route is None:
+                continue
+            heapq.heappush(heap, (len(route.path), asn, counter))
+            counter += 1
+
+        while heap:
+            _, source, _ = heapq.heappop(heap)
+            source_route = state.get(source)
+            if source_route is None:
+                continue
+            if source_route.provenance > export_requires:
+                continue
+            for adj in self._out.get(source, ()):
+                if adj.relationship not in allowed_relationships:
+                    continue
+                candidate = self._build_candidate(adj, source_route, provenance)
+                self._offer(offers, adj.target, candidate)
+                if self._better(candidate, state.get(adj.target)):
+                    state[adj.target] = candidate
+                    heapq.heappush(heap, (len(candidate.path), adj.target, counter))
+                    counter += 1
+
+    def _run_single_hop(
+        self,
+        state: Dict[int, PropagatedRoute],
+        offers: Dict[int, List[PropagatedRoute]],
+        sources: List[int],
+        allowed_relationships: Tuple[Relationship, ...],
+        provenance: int,
+    ) -> None:
+        """One-hop propagation used for the peering phase."""
+        updates: Dict[int, PropagatedRoute] = {}
+        for source in sorted(sources):
+            source_route = state.get(source)
+            if source_route is None or source_route.provenance > CLASS_CUSTOMER:
+                continue
+            for adj in self._out.get(source, ()):
+                if adj.relationship not in allowed_relationships:
+                    continue
+                candidate = self._build_candidate(adj, source_route, provenance)
+                self._offer(offers, adj.target, candidate)
+                current = state.get(adj.target)
+                pending = updates.get(adj.target)
+                best_existing = pending if self._better_or_equal(pending, current) else current
+                if self._better(candidate, best_existing):
+                    updates[adj.target] = candidate
+        for asn, candidate in updates.items():
+            if self._better(candidate, state.get(asn)):
+                state[asn] = candidate
+
+    def _build_candidate(
+        self,
+        adj: Adjacency,
+        source_route: PropagatedRoute,
+        provenance: int,
+    ) -> PropagatedRoute:
+        received = source_route.path
+        if adj.via_rs_asn is not None and not adj.rs_transparent:
+            received = (adj.via_rs_asn,) + received
+        path = (adj.target,) + received
+        communities = source_route.communities
+        if adj.communities:
+            communities = communities | adj.communities
+        # Sibling links are transparent: they keep the exporter's provenance.
+        if adj.relationship is Relationship.SIBLING:
+            new_provenance = source_route.provenance
+        else:
+            new_provenance = max(provenance, source_route.provenance) \
+                if provenance == CLASS_PROVIDER else provenance
+        if provenance == CLASS_PROVIDER and adj.relationship is Relationship.PROVIDER:
+            new_provenance = CLASS_PROVIDER
+        return PropagatedRoute(
+            asn=adj.target,
+            path=path,
+            communities=communities,
+            provenance=new_provenance,
+            learned_from=adj.source,
+        )
+
+    @staticmethod
+    def _key(route: PropagatedRoute) -> Tuple[int, int, int]:
+        return (route.provenance, len(route.path),
+                route.learned_from if route.learned_from is not None else -1)
+
+    def _better(self, candidate: PropagatedRoute, current: Optional[PropagatedRoute]) -> bool:
+        if candidate is None:
+            return False
+        if current is None:
+            return True
+        return self._key(candidate) < self._key(current)
+
+    def _better_or_equal(
+        self, candidate: Optional[PropagatedRoute], current: Optional[PropagatedRoute]
+    ) -> bool:
+        if candidate is None:
+            return False
+        if current is None:
+            return True
+        return self._key(candidate) <= self._key(current)
+
+    def _offer(
+        self,
+        offers: Dict[int, List[PropagatedRoute]],
+        target: int,
+        candidate: PropagatedRoute,
+    ) -> None:
+        if target in self._record_alt_at:
+            offers.setdefault(target, []).append(candidate)
+
+    def _record(
+        self,
+        spec: OriginSpec,
+        state: Dict[int, PropagatedRoute],
+        offers: Dict[int, List[PropagatedRoute]],
+        result: PropagationResult,
+    ) -> None:
+        recordable = self._record_at
+        for asn, route in state.items():
+            if recordable is None or asn in recordable:
+                result._record_best(spec.asn, route)
+        for asn, candidates in offers.items():
+            if recordable is None or asn in recordable:
+                for candidate in candidates:
+                    result._record_alternative(spec.asn, candidate)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from repro.bgp.attributes import ASPath
 from repro.bgp.messages import RibEntry, UpdateMessage
@@ -33,15 +33,19 @@ class RouteCollector:
                    timestamp: float = 0.0) -> List[RibEntry]:
         """Produce a RIB dump: the concatenation of every vantage point's
         exported table at *timestamp*."""
-        entries: List[RibEntry] = []
+        return list(self.iter_table_dump(propagation, timestamp))
+
+    def iter_table_dump(self, propagation: PropagationResult,
+                        timestamp: float = 0.0) -> Iterable[RibEntry]:
+        """Stream the RIB dump vantage point by vantage point, without
+        materialising the concatenated table."""
         for vantage_point in self.vantage_points:
-            entries.extend(vantage_point.exported_routes(propagation, timestamp))
-        return entries
+            yield from vantage_point.exported_routes(propagation, timestamp)
 
     def visible_as_links(self, propagation: PropagationResult) -> Set[Tuple[int, int]]:
         """AS links visible in the collector's dump (plus the VP-collector
         adjacency is excluded, as in real topology extractions)."""
         links: Set[Tuple[int, int]] = set()
-        for entry in self.table_dump(propagation):
+        for entry in self.iter_table_dump(propagation):
             links.update(entry.as_path.links())
         return links

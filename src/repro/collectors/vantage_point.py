@@ -37,7 +37,7 @@ class VantagePoint:
         """The RIB entries this vantage point exports to its collector,
         derived from the routes it holds in the propagation result."""
         entries: List[RibEntry] = []
-        for origin, route in propagation.routes_at(self.asn).items():
+        for origin, route in propagation.iter_routes_at(self.asn):
             if not self._exports(route):
                 continue
             spec = propagation.origin_spec(origin)

@@ -51,22 +51,38 @@ class ActiveCollection:
         self, interpreter: RSCommunityInterpreter, source: str = "active"
     ) -> List[PolicyObservation]:
         """Interpret the raw community observations into policy observations."""
-        result: List[PolicyObservation] = []
-        for member_asn, entries in self.observations.items():
-            for prefix, communities in entries:
-                interpreted = interpreter.interpret_for_ixp(self.ixp_name, communities)
-                if interpreted is None:
-                    # No RS community at all: the default ALL behaviour.
-                    result.append(PolicyObservation(
-                        member_asn=member_asn, ixp_name=self.ixp_name,
-                        prefix=prefix, mode="all-except", listed=frozenset(),
-                        source=source))
-                    continue
+        return interpret_raw_observations(
+            interpreter, self.ixp_name, self.observations, source)
+
+
+def interpret_raw_observations(
+    interpreter: RSCommunityInterpreter,
+    ixp_name: str,
+    observations: Mapping[int, Sequence[Tuple[Prefix, FrozenSet[Community]]]],
+    source: str,
+) -> List[PolicyObservation]:
+    """Turn raw per-member (prefix, communities) pairs into policy
+    observations.
+
+    Distinct community bags are few, so the per-bag interpretation is
+    served from the interpreter's memoised cache; an announcement without
+    any RS community means the default ALL behaviour.
+    """
+    result: List[PolicyObservation] = []
+    for member_asn, entries in observations.items():
+        for prefix, communities in entries:
+            interpreted = interpreter.interpret_for_ixp(ixp_name, communities)
+            if interpreted is None:
                 result.append(PolicyObservation(
-                    member_asn=member_asn, ixp_name=self.ixp_name,
-                    prefix=prefix, mode=interpreted.mode,
-                    listed=interpreted.listed, source=source))
-        return result
+                    member_asn=member_asn, ixp_name=ixp_name,
+                    prefix=prefix, mode="all-except", listed=frozenset(),
+                    source=source))
+                continue
+            result.append(PolicyObservation(
+                member_asn=member_asn, ixp_name=ixp_name,
+                prefix=prefix, mode=interpreted.mode,
+                listed=interpreted.listed, source=source))
+    return result
 
 
 class ActiveInference:
@@ -155,21 +171,8 @@ class ThirdPartyCollection:
         self, interpreter: RSCommunityInterpreter
     ) -> List[PolicyObservation]:
         """Interpret the raw observations into policy observations."""
-        result: List[PolicyObservation] = []
-        for member_asn, entries in self.observations.items():
-            for prefix, communities in entries:
-                interpreted = interpreter.interpret_for_ixp(self.ixp_name, communities)
-                if interpreted is None:
-                    result.append(PolicyObservation(
-                        member_asn=member_asn, ixp_name=self.ixp_name,
-                        prefix=prefix, mode="all-except", listed=frozenset(),
-                        source="third-party"))
-                    continue
-                result.append(PolicyObservation(
-                    member_asn=member_asn, ixp_name=self.ixp_name,
-                    prefix=prefix, mode=interpreted.mode,
-                    listed=interpreted.listed, source="third-party"))
-        return result
+        return interpret_raw_observations(
+            interpreter, self.ixp_name, self.observations, "third-party")
 
 
 def collect_from_third_party_lg(

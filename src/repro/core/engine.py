@@ -39,6 +39,8 @@ from repro.core.reachability import (
 )
 from repro.ixp.community_schemes import SchemeRegistry
 from repro.ixp.looking_glass import ASLookingGlass, RouteServerLookingGlass
+from repro.runtime.bitset import BitsetIndex
+from repro.runtime.context import PipelineContext
 
 
 @dataclass
@@ -87,9 +89,10 @@ class MLPInferenceResult:
         return self.per_ixp[ixp_name]
 
     def ixp_names(self) -> List[str]:
-        """All IXPs with an inference, sorted by link count (descending)."""
+        """All IXPs with an inference, sorted by link count (descending,
+        ties broken by name so the ordering is deterministic)."""
         return sorted(self.per_ixp,
-                      key=lambda name: -self.per_ixp[name].num_links)
+                      key=lambda name: (-self.per_ixp[name].num_links, name))
 
     def all_links(self) -> Set[Tuple[int, int]]:
         """De-duplicated union of the per-IXP link sets."""
@@ -124,12 +127,13 @@ class MLPInferenceResult:
         return sum(inference.num_links for inference in self.per_ixp.values())
 
     def peer_counts(self) -> Dict[int, int]:
-        """Per-AS number of distinct inferred MLP peers (figure 6's x-axis)."""
+        """Per-AS number of distinct inferred MLP peers (figure 6's x-axis).
+        Keys are in ascending ASN order, so iteration is deterministic."""
         counts: Dict[int, int] = {}
         for a, b in self.all_links():
             counts[a] = counts.get(a, 0) + 1
             counts[b] = counts.get(b, 0) + 1
-        return counts
+        return {asn: counts[asn] for asn in sorted(counts)}
 
     def table2(self, ixp_ases: Optional[Mapping[str, int]] = None,
                ixp_has_lg: Optional[Mapping[str, bool]] = None) -> List[Dict[str, object]]:
@@ -155,6 +159,7 @@ class MLPInferenceEngine:
         relationships: Optional[Mapping[Tuple[int, int], Relationship]] = None,
         sample_fraction: float = 0.10,
         max_prefixes_per_member: int = 100,
+        context: Optional[PipelineContext] = None,
     ) -> None:
         self.registry = registry
         self.rs_members: Dict[str, Set[int]] = {
@@ -164,6 +169,9 @@ class MLPInferenceEngine:
         self.relationships = dict(relationships or {})
         self.sample_fraction = sample_fraction
         self.max_prefixes_per_member = max_prefixes_per_member
+        #: Optional shared runtime context; when present its cached
+        #: member bitset indices are reused across run() invocations.
+        self.context = context
 
     # -- pipeline ---------------------------------------------------------------------
 
@@ -187,7 +195,9 @@ class MLPInferenceEngine:
         passive_by_ixp = self._run_passive(passive_entries)
         result = MLPInferenceResult()
 
-        for ixp_name, members in self.rs_members.items():
+        # IXPs are processed in name order so run output (and any caches
+        # populated along the way) is independent of mapping order.
+        for ixp_name, members in sorted(self.rs_members.items()):
             inference = IXPInference(ixp_name=ixp_name, members=set(members))
             observations: List[PolicyObservation] = []
 
@@ -230,7 +240,8 @@ class MLPInferenceEngine:
             inference.reachabilities = self._merge(ixp_name, observations,
                                                    inference.members)
             inference.links = self._infer_links(
-                inference.reachabilities, inference.members, require_reciprocity)
+                ixp_name, inference.reachabilities, inference.members,
+                require_reciprocity)
             result.per_ixp[ixp_name] = inference
         return result
 
@@ -268,22 +279,19 @@ class MLPInferenceEngine:
                 reachabilities[member_asn] = merged
         return reachabilities
 
+    def _member_index(self, ixp_name: str, members: Set[int]) -> BitsetIndex:
+        if self.context is not None:
+            return self.context.member_index(ixp_name, members)
+        return BitsetIndex(members)
+
     def _infer_links(
         self,
+        ixp_name: str,
         reachabilities: Dict[int, MemberReachability],
         members: Set[int],
         require_reciprocity: bool,
     ) -> Set[Tuple[int, int]]:
-        if require_reciprocity:
-            return infer_links(reachabilities, members)
-        links: Set[Tuple[int, int]] = set()
-        ordered = sorted(members)
-        for i, a in enumerate(ordered):
-            for b in ordered[i + 1:]:
-                reach_a = reachabilities.get(a)
-                reach_b = reachabilities.get(b)
-                allow_ab = reach_a.allows(b) if reach_a else False
-                allow_ba = reach_b.allows(a) if reach_b else False
-                if allow_ab or allow_ba:
-                    links.add((a, b))
-        return links
+        return infer_links(
+            reachabilities, members,
+            index=self._member_index(ixp_name, members),
+            require_reciprocity=require_reciprocity)

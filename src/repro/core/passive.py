@@ -67,6 +67,17 @@ class PassiveInference:
         #: typically produced by :class:`RelationshipInference`.
         self.relationships = dict(relationships or {})
         self.stats = PassiveStats()
+        # The same AS path recurs once per prefix the feeder exports, so
+        # setter pin-pointing is memoised per (IXP, path).  The cache is
+        # strictly per-instance: cached setters depend on this instance's
+        # relationship snapshot, so sharing across instances (or across
+        # engine runs, whose relationship maps may differ) would serve
+        # stale attributions.  Entries carry the interpreter's
+        # cache_epoch, so a membership change followed by
+        # interpreter.clear_caches() (or update_members()) invalidates
+        # them here too.
+        self._setter_cache: Dict[Tuple[str, Tuple[int, ...]],
+                                 Tuple[int, Optional[int]]] = {}
 
     # -- extraction ------------------------------------------------------------------
 
@@ -117,15 +128,23 @@ class PassiveInference:
         participant closer to the origin among the (single) pair of
         adjacent participants with a p2p relationship.
         """
+        epoch = self.interpreter.cache_epoch
+        cache_key = (ixp_name, entry.as_path.asns)
+        cached = self._setter_cache.get(cache_key)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         members = self.interpreter.rs_members.get(ixp_name, set())
         path = entry.as_path.deduplicated().asns
         participant_positions = [index for index, asn in enumerate(path)
                                  if asn in members]
         if len(participant_positions) < 2:
-            return None
-        if len(participant_positions) == 2:
-            return path[participant_positions[-1]]
-        return self._setter_from_relationships(path, participant_positions)
+            setter = None
+        elif len(participant_positions) == 2:
+            setter = path[participant_positions[-1]]
+        else:
+            setter = self._setter_from_relationships(path, participant_positions)
+        self._setter_cache[cache_key] = (epoch, setter)
+        return setter
 
     def _setter_from_relationships(
         self, path: Tuple[int, ...], participant_positions: List[int]

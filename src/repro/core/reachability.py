@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.prefix import Prefix
+from repro.runtime.bitset import BitsetIndex, reciprocal_pairs
 
 MODE_ALL_EXCEPT = "all-except"
 MODE_NONE_EXCEPT = "none-except"
@@ -66,6 +67,23 @@ class MemberReachability:
     def allowed_members(self, members: Iterable[int]) -> Set[int]:
         """N_a restricted to the given member population."""
         return {m for m in members if m != self.member_asn and self.allows(m)}
+
+    def allowed_mask(self, index: BitsetIndex) -> int:
+        """N_a as a bitmask over *index*'s member universe.
+
+        Bit *i* is set iff ``self.allows(index.universe[i])``; the data
+        plane of :func:`infer_links` works entirely on these masks and
+        only converts back to ASNs when emitting links.
+        """
+        listed_mask = index.mask_of(self.listed)
+        if self.mode == MODE_ALL_EXCEPT:
+            mask = index.full_mask & ~listed_mask
+        else:
+            mask = listed_mask
+        own_bit = index.bit_of.get(self.member_asn)
+        if own_bit is not None:
+            mask &= ~(1 << own_bit)
+        return mask
 
     def blocked_members(self, members: Iterable[int]) -> Set[int]:
         """Members explicitly not reachable through the route server."""
@@ -168,22 +186,28 @@ def _count_inconsistent(observations: Sequence[PolicyObservation]) -> int:
 def infer_links(
     reachabilities: Dict[int, MemberReachability],
     members: Iterable[int],
+    index: Optional[BitsetIndex] = None,
+    require_reciprocity: bool = True,
 ) -> Set[Tuple[int, int]]:
     """Step 5: infer a p2p link for every pair with reciprocal ALLOW.
 
     Only members with a reconstructed reachability can contribute links;
-    a pair (a, b) is inferred iff ``b in N_a`` and ``a in N_b``.
+    a pair (a, b) is inferred iff ``b in N_a`` and ``a in N_b`` (with
+    ``require_reciprocity=False`` — the paper's ablation — a single
+    direction of ALLOW suffices).
+
+    The computation runs on member bitmasks: each N_a becomes an integer
+    mask over the sorted member universe (pass a pre-built *index* to
+    reuse one, e.g. from ``PipelineContext.member_index``), the masks
+    are transposed once, and reciprocity is a bitwise AND.  Links are
+    emitted in sorted-pair form.
     """
-    member_list = sorted(set(members))
-    links: Set[Tuple[int, int]] = set()
-    for i, a in enumerate(member_list):
-        reach_a = reachabilities.get(a)
-        if reach_a is None:
-            continue
-        for b in member_list[i + 1:]:
-            reach_b = reachabilities.get(b)
-            if reach_b is None:
-                continue
-            if reach_a.allows(b) and reach_b.allows(a):
-                links.add((a, b))
-    return links
+    if index is None:
+        index = BitsetIndex(members)
+
+    masks: Dict[int, int] = {}
+    for bit, asn in enumerate(index.universe):
+        reach = reachabilities.get(asn)
+        if reach is not None:
+            masks[bit] = reach.allowed_mask(index)
+    return reciprocal_pairs(masks, index.universe, require_reciprocity)

@@ -82,8 +82,17 @@ class IXP:
         """Members connected to any of the IXP's route servers."""
         asns: Set[int] = set()
         for rs in self.route_servers:
-            asns.update(rs.members())
+            asns.update(rs.member_set())
         return sorted(asns)
+
+    def num_rs_members(self) -> int:
+        """Number of distinct route-server members, without sorting."""
+        if len(self.route_servers) == 1:
+            return self.route_servers[0].num_members()
+        asns: Set[int] = set()
+        for rs in self.route_servers:
+            asns.update(rs.member_set())
+        return len(asns)
 
     def connect_to_route_server(
         self,
@@ -106,7 +115,7 @@ class IXP:
     def session_counts(self) -> Dict[str, int]:
         """Sessions needed for a full mesh bilaterally vs multilaterally
         (figure 1), computed over the route-server member population."""
-        members = len(self.rs_members())
+        members = self.num_rs_members()
         servers = max(1, len(self.route_servers))
         return {
             "members": members,
@@ -118,7 +127,7 @@ class IXP:
         """Fraction of the IXP's members connected to a route server."""
         if not self.members:
             return 0.0
-        return len(self.rs_members()) / len(self.members)
+        return self.num_rs_members() / len(self.members)
 
     def summary(self) -> Dict[str, object]:
         """Compact description used by reports and benchmarks."""
@@ -127,7 +136,7 @@ class IXP:
             "region": self.region,
             "pricing": self.pricing,
             "members": len(self.members),
-            "rs_members": len(self.rs_members()),
+            "rs_members": self.num_rs_members(),
             "route_servers": len(self.route_servers),
             "has_lg": self.has_route_server(),
         }

@@ -19,6 +19,7 @@ from repro.bgp.communities import Community
 from repro.bgp.prefix import Prefix
 from repro.ixp.community_schemes import CommunityScheme, RSAction
 from repro.ixp.member import MemberExportPolicy
+from repro.runtime.bitset import BitsetIndex, reciprocal_pairs
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,10 @@ class RouteServer:
         self._ip_to_member: Dict[str, int] = {}
         #: prefix -> member ASN -> entry
         self._rib: Dict[Prefix, Dict[int, RouteServerEntry]] = {}
+        #: communities -> (has NONE, resolved includes, resolved excludes);
+        #: invalidated whenever membership (and thus the mapper) changes.
+        self._classify_cache: Dict[FrozenSet[Community],
+                                   Tuple[bool, FrozenSet[int], FrozenSet[int]]] = {}
 
     # -- membership ---------------------------------------------------------------
 
@@ -84,6 +89,7 @@ class RouteServer:
             ip_address = f"10.{(member_asn >> 8) & 0xFF}.{member_asn & 0xFF}.1"
         self._member_ips[member_asn] = ip_address
         self._ip_to_member[ip_address] = member_asn
+        self._classify_cache.clear()
         return policy
 
     def remove_member(self, member_asn: int) -> None:
@@ -95,10 +101,19 @@ class RouteServer:
         for per_prefix in list(self._rib.values()):
             per_prefix.pop(member_asn, None)
         self._rib = {p: routes for p, routes in self._rib.items() if routes}
+        self._classify_cache.clear()
 
     def members(self) -> List[int]:
         """ASNs of all connected members."""
         return sorted(self._members)
+
+    def num_members(self) -> int:
+        """Number of connected members (no sorting, O(1))."""
+        return len(self._members)
+
+    def member_set(self) -> Set[int]:
+        """ASNs of all connected members as a set view copy."""
+        return set(self._members)
 
     def is_member(self, asn: int) -> bool:
         """True if *asn* has a session with the route server."""
@@ -204,18 +219,60 @@ class RouteServer:
         in communities are resolved through the private-ASN mapper so
         32-bit members are filterable.
         """
-        others = set(self._members) - {entry.member_asn}
-        classified = self.scheme.classify_set(entry.communities)
-        has_none = any(c.action is RSAction.NONE for _, c in classified)
-        includes = {self.mapper.resolve(c.peer_asn)
-                    for _, c in classified
-                    if c.action is RSAction.INCLUDE and c.peer_asn is not None}
-        excludes = {self.mapper.resolve(c.peer_asn)
-                    for _, c in classified
-                    if c.action is RSAction.EXCLUDE and c.peer_asn is not None}
+        has_none, includes, excludes = self._classify(entry.communities)
+        others = set(self._members)
+        others.discard(entry.member_asn)
         if has_none:
             return others & includes
         return others - excludes
+
+    def _member_allowed(self, member_asn: int, entry: RouteServerEntry) -> bool:
+        """O(1) form of ``member_asn in allowed_targets(entry)``."""
+        if member_asn == entry.member_asn:
+            return False
+        has_none, includes, excludes = self._classify(entry.communities)
+        if has_none:
+            return member_asn in includes
+        return member_asn not in excludes
+
+    def _export_mask(self, index: BitsetIndex, entry: RouteServerEntry) -> int:
+        """``allowed_targets(entry)`` as a bitmask over *index*.
+
+        Set, predicate and mask forms of the export rule all project the
+        same :meth:`_classify` triple, so a semantics change (e.g. a new
+        RSAction) lands in one place.
+        """
+        has_none, includes, excludes = self._classify(entry.communities)
+        if has_none:
+            mask = index.mask_of(includes)
+        else:
+            mask = index.full_mask & ~index.mask_of(excludes)
+        return mask & ~(1 << index.bit_of[entry.member_asn])
+
+    def _classify(
+        self, communities: FrozenSet[Community]
+    ) -> Tuple[bool, FrozenSet[int], FrozenSet[int]]:
+        """Scheme classification of a community bag, memoised.
+
+        Announcements overwhelmingly share a small number of distinct
+        community bags (one per member policy, plus per-prefix
+        deviations), so export filtering hits this cache almost always.
+        """
+        cached = self._classify_cache.get(communities)
+        if cached is None:
+            classified = self.scheme.classify_set(communities)
+            has_none = any(c.action is RSAction.NONE for _, c in classified)
+            includes = frozenset(
+                self.mapper.resolve(c.peer_asn)
+                for _, c in classified
+                if c.action is RSAction.INCLUDE and c.peer_asn is not None)
+            excludes = frozenset(
+                self.mapper.resolve(c.peer_asn)
+                for _, c in classified
+                if c.action is RSAction.EXCLUDE and c.peer_asn is not None)
+            cached = (has_none, includes, excludes)
+            self._classify_cache[communities] = cached
+        return cached
 
     def exports_to(self, member_asn: int) -> List[RouteServerEntry]:
         """Routes the route server advertises to *member_asn*.
@@ -232,7 +289,7 @@ class RouteServer:
             for entry in per_prefix.values():
                 if entry.member_asn == member_asn:
                     continue
-                if member_asn in self.allowed_targets(entry):
+                if self._member_allowed(member_asn, entry):
                     path = entry.as_path
                     if not self.transparent:
                         path = (self.rs_asn,) + path
@@ -248,18 +305,20 @@ class RouteServer:
 
     def served_pairs(self) -> Set[Tuple[int, int]]:
         """Ground-truth multilateral peering pairs: (a, b) such that both
-        directions are served by the route server for at least one prefix."""
-        allowed: Dict[int, Set[int]] = {asn: set() for asn in self._members}
+        directions are served by the route server for at least one prefix.
+
+        Computed on member bitmasks: each member's union of allowed
+        targets over its announcements becomes one integer mask, and the
+        reciprocity check is a bitwise AND over the transposed masks.
+        """
+        index = BitsetIndex(self._members)
+        allowed: Dict[int, int] = {}
         for per_prefix in self._rib.values():
             for entry in per_prefix.values():
-                allowed[entry.member_asn] |= self.allowed_targets(entry)
-        pairs: Set[Tuple[int, int]] = set()
-        members = sorted(self._members)
-        for i, a in enumerate(members):
-            for b in members[i + 1:]:
-                if b in allowed.get(a, ()) and a in allowed.get(b, ()):
-                    pairs.add((a, b))
-        return pairs
+                bit = index.bit_of[entry.member_asn]
+                allowed[bit] = allowed.get(bit, 0) | \
+                    self._export_mask(index, entry)
+        return reciprocal_pairs(allowed, index.universe)
 
     def peering_density(self) -> Dict[int, float]:
         """Per-member peering density: established RS peers over possible

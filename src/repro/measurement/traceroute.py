@@ -51,7 +51,7 @@ class TracerouteCampaign:
         """
         links: Set[Tuple[int, int]] = set()
         for monitor in self.config.monitor_asns:
-            for origin, route in propagation.routes_at(monitor).items():
+            for origin, route in propagation.iter_routes_at(monitor):
                 path = route.path
                 for left, right in zip(path, path[1:]):
                     if left == right:

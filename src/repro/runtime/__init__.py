@@ -1,0 +1,39 @@
+"""Shared runtime substrate: interning, CSR adjacency index, context.
+
+Every layer of the reproduction (bgp -> topology -> collectors/ixp ->
+core -> scenarios) works against the primitives in this package instead
+of materialising per-route objects:
+
+* :class:`Interner` — dense integer ids for ASNs, prefixes and
+  community values;
+* :class:`PathStore` / :class:`CommunityBagStore` — structure-shared AS
+  paths (cons cells) and memoised community-set unions, so propagation
+  never copies a path or a community bag per AS;
+* :class:`CSRIndex` — a compressed-sparse-row adjacency index built once
+  per topology, pre-partitioned into the three valley-free phases;
+* :class:`FrontierPropagator` — the array-based frontier BFS the
+  :class:`~repro.bgp.propagation.PropagationEngine` runs on;
+* :class:`BitsetIndex` — member-population bitmasks used by the
+  reachability/link-inference layer;
+* :class:`PipelineContext` — owns the interners, the index and the
+  memoised per-origin propagation results, and is threaded through the
+  whole pipeline.
+"""
+
+from repro.runtime.bitset import BitsetIndex
+from repro.runtime.context import PipelineContext
+from repro.runtime.csr import CSRIndex
+from repro.runtime.frontier import FrontierPropagator, OriginState
+from repro.runtime.interning import Interner
+from repro.runtime.stores import CommunityBagStore, PathStore
+
+__all__ = [
+    "BitsetIndex",
+    "CommunityBagStore",
+    "CSRIndex",
+    "FrontierPropagator",
+    "Interner",
+    "OriginState",
+    "PathStore",
+    "PipelineContext",
+]

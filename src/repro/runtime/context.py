@@ -1,0 +1,118 @@
+"""The pipeline context: one object owning the shared runtime state.
+
+A :class:`PipelineContext` is created once per topology (usually via
+:meth:`from_graph`) and threaded through the whole measurement pipeline:
+the propagation engine reads its CSR index and stores, collectors and
+looking glasses read propagation fragments memoised per origin, and the
+inference layer reuses its member bitset indices and prefix/community
+interners.  Everything downstream of the context speaks integer ids and
+only converts back to ASNs/prefixes/communities at result boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Tuple
+
+from repro.runtime.bitset import BitsetIndex
+from repro.runtime.csr import CSRIndex
+from repro.runtime.frontier import FrontierPropagator
+from repro.runtime.interning import Interner
+from repro.runtime.stores import PathStore
+
+
+class PipelineContext:
+    """Shared interners, adjacency index and memoised propagation."""
+
+    def __init__(self, index: CSRIndex) -> None:
+        #: the CSR adjacency index (owns the ASN interner and bag store).
+        self.index = index
+        #: ASN interner (node ids ascend with ASN value).
+        self.asns = index.asns
+        #: community-bag store shared with the index's edge bags.
+        self.bags = index.bags
+        #: transient path store reused across origins.
+        self.paths = PathStore()
+        #: prefix id space for layers that want dense prefix ids.
+        self.prefixes: Interner = Interner()
+        #: community-value id space for scheme-level bookkeeping.
+        self.communities: Interner = Interner()
+        self._propagator: Optional[FrontierPropagator] = None
+        #: (origin, origin bag, record signature) -> recorded fragments.
+        self._route_cache: Dict[Tuple, Tuple] = {}
+        self._member_indices: Dict[Hashable, Tuple[frozenset, BitsetIndex]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_adjacencies(cls, adjacencies: Iterable[object]) -> "PipelineContext":
+        """Build a context from directed adjacency records."""
+        return cls(CSRIndex.from_adjacencies(adjacencies))
+
+    @classmethod
+    def from_graph(cls, graph, rs_community_provider=None) -> "PipelineContext":
+        """Build a context from an :class:`~repro.topology.as_graph.ASGraph`."""
+        return cls(graph.build_index(
+            rs_community_provider=rs_community_provider))
+
+    # -- propagation ---------------------------------------------------------
+
+    @property
+    def propagator(self) -> FrontierPropagator:
+        """The frontier propagator bound to this context's index."""
+        if self._propagator is None:
+            self._propagator = FrontierPropagator(
+                self.index, self.paths, self.bags)
+        return self._propagator
+
+    def engine(self, record_at=None, record_alternatives_at=None):
+        """A :class:`~repro.bgp.propagation.PropagationEngine` sharing
+        this context's index, stores and memoised routes."""
+        from repro.bgp.propagation import PropagationEngine
+        return PropagationEngine(
+            record_at=record_at,
+            record_alternatives_at=record_alternatives_at,
+            context=self,
+        )
+
+    @property
+    def route_cache(self) -> Dict[Tuple, Tuple]:
+        """Memoised per-origin recorded route fragments."""
+        return self._route_cache
+
+    def clear_propagation_cache(self) -> None:
+        """Drop all memoised per-origin propagation fragments."""
+        self._route_cache.clear()
+
+    # -- inference support ---------------------------------------------------
+
+    def member_index(self, key: Hashable, members: Iterable[int]) -> BitsetIndex:
+        """A (cached) :class:`BitsetIndex` over *members* under *key*.
+
+        The key is usually the IXP name; the cached index is rebuilt when
+        the member population changes (validated via an O(n) frozenset
+        comparison, not a re-sort).
+        """
+        population = frozenset(members)
+        cached = self._member_indices.get(key)
+        if cached is not None and cached[0] == population:
+            return cached[1]
+        index = BitsetIndex(population)
+        self._member_indices[key] = (population, index)
+        return index
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Current sizes of the context-owned structures."""
+        summary = self.index.summary()
+        summary.update({
+            "interned_prefixes": len(self.prefixes),
+            "interned_communities": len(self.communities),
+            "memoized_origins": len(self._route_cache),
+            "member_indices": len(self._member_indices),
+        })
+        return summary
+
+    def __repr__(self) -> str:
+        return (f"PipelineContext({self.index.num_nodes} nodes, "
+                f"{len(self._route_cache)} memoized origins)")

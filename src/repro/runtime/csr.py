@@ -1,0 +1,170 @@
+"""CSR-style adjacency index over a policy-annotated AS topology.
+
+Built once per topology (``ASGraph.build_index()``) and shared by every
+propagation run.  Nodes are ASNs interned in sorted order, so comparing
+node ids is the same as comparing ASNs — the propagation tie-break
+("lowest neighbour ASN wins") therefore works directly on ids.
+
+The directed edges are pre-partitioned into the three valley-free
+phases, each stored as flat parallel arrays in compressed-sparse-row
+layout, so the frontier BFS never tests relationships in its inner loop:
+
+* **customer phase** — edges whose importer sees the exporter as a
+  CUSTOMER, plus transparent SIBLING edges;
+* **peer phase** — PEER and RS_PEER edges;
+* **provider phase** — edges whose importer sees the exporter as a
+  PROVIDER, plus SIBLING edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.bgp.policy import Relationship
+from repro.runtime.frontier import (
+    REL_CUSTOMER,
+    REL_PEER,
+    REL_PROVIDER,
+    REL_RS_PEER,
+    REL_SIBLING,
+)
+from repro.runtime.interning import Interner
+from repro.runtime.stores import CommunityBagStore
+
+_REL_CODE = {
+    Relationship.CUSTOMER: REL_CUSTOMER,
+    Relationship.PROVIDER: REL_PROVIDER,
+    Relationship.PEER: REL_PEER,
+    Relationship.RS_PEER: REL_RS_PEER,
+    Relationship.SIBLING: REL_SIBLING,
+}
+
+
+class PhaseEdges(NamedTuple):
+    """One propagation phase's edges in CSR layout (parallel arrays)."""
+
+    indptr: List[int]    #: per-node slice starts, length num_nodes + 1
+    targets: List[int]   #: importing node id per edge
+    rels: List[int]      #: REL_* code per edge
+    bags: List[int]      #: community-bag id attached on the edge (0 = none)
+    vias: List[int]      #: RS ASN inserted in the path, -1 when transparent
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.targets)
+
+
+class CSRIndex:
+    """The per-topology adjacency index."""
+
+    __slots__ = ("asns", "node_asns", "id_of", "bags",
+                 "customer_edges", "peer_edges", "provider_edges",
+                 "num_nodes", "num_edges")
+
+    def __init__(
+        self,
+        asns: Interner,
+        bags: CommunityBagStore,
+        customer_edges: PhaseEdges,
+        peer_edges: PhaseEdges,
+        provider_edges: PhaseEdges,
+        num_edges: int,
+    ) -> None:
+        #: ASN interner; ids ascend with ASN value.
+        self.asns = asns
+        #: node id -> ASN (alias of the interner's value table).
+        self.node_asns = asns.values
+        #: ASN -> node id (alias of the interner's id map).
+        self.id_of = asns.id_map
+        #: the community-bag store edge bag ids refer to.
+        self.bags = bags
+        self.customer_edges = customer_edges
+        self.peer_edges = peer_edges
+        self.provider_edges = provider_edges
+        self.num_nodes = len(asns)
+        self.num_edges = num_edges
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_adjacencies(
+        cls,
+        adjacencies: Iterable[object],
+        bags: Optional[CommunityBagStore] = None,
+    ) -> "CSRIndex":
+        """Build the index from directed adjacency records.
+
+        Records are duck-typed: anything exposing ``source``, ``target``,
+        ``relationship``, ``communities``, ``via_rs_asn`` and
+        ``rs_transparent`` works (notably
+        :class:`~repro.bgp.propagation.Adjacency`).
+        """
+        adjacency_list = list(adjacencies)
+        bags = bags if bags is not None else CommunityBagStore()
+
+        asn_set = set()
+        for adj in adjacency_list:
+            asn_set.add(adj.source)
+            asn_set.add(adj.target)
+        asns = Interner(sorted(asn_set))
+        id_of = asns.id_map
+        num_nodes = len(asns)
+
+        # (source, target, rel, bag, via) records per phase.
+        phase_records: Tuple[List[Tuple[int, int, int, int, int]], ...] = (
+            [], [], [])
+        for adj in adjacency_list:
+            rel = _REL_CODE[adj.relationship]
+            source = id_of[adj.source]
+            target = id_of[adj.target]
+            communities = adj.communities
+            bag = bags.intern(frozenset(communities)) if communities else 0
+            via = adj.via_rs_asn
+            via_asn = via if (via is not None and not adj.rs_transparent) else -1
+            record = (source, target, rel, bag, via_asn)
+            if rel == REL_CUSTOMER or rel == REL_SIBLING:
+                phase_records[0].append(record)
+            if rel == REL_PEER or rel == REL_RS_PEER:
+                phase_records[1].append(record)
+            if rel == REL_PROVIDER or rel == REL_SIBLING:
+                phase_records[2].append(record)
+
+        phases = tuple(_build_phase(records, num_nodes)
+                       for records in phase_records)
+        return cls(asns, bags, phases[0], phases[1], phases[2],
+                   num_edges=len(adjacency_list))
+
+    # -- introspection -------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Size statistics (used by benchmarks and reports)."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "customer_phase_edges": self.customer_edges.num_edges,
+            "peer_phase_edges": self.peer_edges.num_edges,
+            "provider_phase_edges": self.provider_edges.num_edges,
+            "community_bags": len(self.bags),
+        }
+
+    def __repr__(self) -> str:
+        return f"CSRIndex({self.num_nodes} nodes, {self.num_edges} edges)"
+
+
+def _build_phase(
+    records: List[Tuple[int, int, int, int, int]],
+    num_nodes: int,
+) -> PhaseEdges:
+    records.sort(key=lambda record: (record[0], record[1]))
+    indptr = [0] * (num_nodes + 1)
+    for source, _, _, _, _ in records:
+        indptr[source + 1] += 1
+    for node in range(num_nodes):
+        indptr[node + 1] += indptr[node]
+    return PhaseEdges(
+        indptr=indptr,
+        targets=[record[1] for record in records],
+        rels=[record[2] for record in records],
+        bags=[record[3] for record in records],
+        vias=[record[4] for record in records],
+    )

@@ -33,7 +33,7 @@ from repro.bgp.asn import Private16BitMapper
 from repro.bgp.communities import Community
 from repro.bgp.prefix import Prefix
 from repro.bgp.policy import Relationship
-from repro.bgp.propagation import OriginSpec, PropagationEngine, PropagationResult
+from repro.bgp.propagation import OriginSpec, PropagationResult
 from repro.collectors.archive import CollectorArchive, MeasurementWindow
 from repro.collectors.route_collector import RouteCollector
 from repro.collectors.vantage_point import FeedType, VantagePoint
@@ -48,6 +48,7 @@ from repro.measurement.geolocation import GeolocationDB
 from repro.measurement.traceroute import TracerouteCampaign, TracerouteConfig
 from repro.registries.irr import ASSet, AutNumPolicy, IRRDatabase
 from repro.registries.peeringdb import PeeringDB, PeeringDBRecord
+from repro.runtime.context import PipelineContext
 from repro.topology.as_graph import ASGraph, ASType, PeeringPolicy
 from repro.topology.customer_cone import customer_cone
 from repro.topology.generator import (
@@ -109,6 +110,9 @@ class Scenario:
     validation_lgs: List[ASLookingGlass]
     traceroute: TracerouteCampaign
     vantage_points: List[VantagePoint]
+    #: Shared runtime context (interners, CSR index, memoised routes);
+    #: threaded through propagation and the inference engine.
+    context: Optional[PipelineContext] = None
 
     # -- ground truth -----------------------------------------------------------------
 
@@ -179,6 +183,7 @@ class Scenario:
             rs_members=rs_members,
             mappers=self.mappers(),
             relationships=relationships,
+            context=self.context,
         )
 
     def run_inference(
@@ -232,8 +237,8 @@ def build_europe2013(config: Optional[ScenarioConfig] = None) -> Scenario:
     ixps, route_servers = _build_ixps(internet, schemes, rng, config)
     _announce_routes(internet, route_servers, rng, config)
 
-    propagation, vantage_points, lg_hosts, monitors, validation_hosts = _propagate(
-        internet, route_servers, rng, config)
+    (context, propagation, vantage_points, lg_hosts, monitors,
+     validation_hosts) = _propagate(internet, route_servers, rng, config)
 
     collectors, archive = _build_collectors(
         vantage_points, propagation, config, rng)
@@ -268,6 +273,7 @@ def build_europe2013(config: Optional[ScenarioConfig] = None) -> Scenario:
         validation_lgs=validation_lgs,
         traceroute=traceroute,
         vantage_points=vantage_points,
+        context=context,
     )
 
 
@@ -360,8 +366,8 @@ def _propagate(
     route_servers: Dict[str, RouteServer],
     rng: random.Random,
     config: ScenarioConfig,
-) -> Tuple[PropagationResult, List[VantagePoint], Dict[str, List[int]],
-           List[int], List[int]]:
+) -> Tuple[PipelineContext, PropagationResult, List[VantagePoint],
+           Dict[str, List[int]], List[int], List[int]]:
     graph = internet.graph
 
     vantage_points = _pick_vantage_points(internet, rng, config)
@@ -381,17 +387,17 @@ def _propagate(
         policy = route_server.member_policy(asn)
         return policy.communities_for(route_server.scheme, None, route_server.mapper)
 
-    adjacencies = graph.propagation_adjacencies(
-        rs_community_provider=rs_communities)
-    engine = PropagationEngine(
-        adjacencies,
+    context = PipelineContext.from_graph(
+        graph, rs_community_provider=rs_communities)
+    engine = context.engine(
         record_at=record_at,
         record_alternatives_at=set(validation_hosts),
     )
     origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
                for node in graph.nodes() if node.prefixes]
     propagation = engine.propagate(origins)
-    return propagation, vantage_points, lg_hosts, monitors, validation_hosts
+    return (context, propagation, vantage_points, lg_hosts, monitors,
+            validation_hosts)
 
 
 def _pick_vantage_points(

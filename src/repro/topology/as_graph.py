@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 from repro.bgp.policy import Relationship
 from repro.bgp.prefix import Prefix
 from repro.bgp.propagation import Adjacency
+from repro.runtime.csr import CSRIndex
 from repro.topology.relationships import LinkType
 
 
@@ -112,6 +113,9 @@ class ASGraph:
         self._nodes: Dict[int, ASNode] = {}
         self._links: Dict[Tuple[int, int], ASLink] = {}
         self._neighbours: Dict[int, Set[int]] = {}
+        #: bumped on every mutation; invalidates the cached CSR index.
+        self._version = 0
+        self._index_cache: Optional[Tuple[int, CSRIndex]] = None
 
     # -- nodes ---------------------------------------------------------------
 
@@ -119,6 +123,7 @@ class ASGraph:
         """Add (or replace) an AS."""
         self._nodes[node.asn] = node
         self._neighbours.setdefault(node.asn, set())
+        self._version += 1
         return node
 
     def get_as(self, asn: int) -> ASNode:
@@ -154,6 +159,7 @@ class ASGraph:
         self._links[link.endpoints] = link
         self._neighbours[link.a].add(link.b)
         self._neighbours[link.b].add(link.a)
+        self._version += 1
         return link
 
     def add_c2p(self, customer: int, provider: int) -> ASLink:
@@ -182,6 +188,7 @@ class ASGraph:
             return False
         self._neighbours[link.a].discard(link.b)
         self._neighbours[link.b].discard(link.a)
+        self._version += 1
         return True
 
     def links(self, link_type: Optional[LinkType] = None) -> List[ASLink]:
@@ -356,6 +363,26 @@ class ASGraph:
                     relationship=Relationship.RS_PEER, ixp=link.ixp,
                     communities=communities_ba))
         return adjacencies
+
+    def build_index(self, rs_community_provider=None) -> CSRIndex:
+        """Build (or fetch the cached) CSR adjacency index of the graph.
+
+        The index is the once-per-topology structure the frontier
+        propagation engine runs on (see :mod:`repro.runtime`).  It is
+        cached against the graph's mutation counter when no
+        ``rs_community_provider`` is involved; indices with route-server
+        communities attached are rebuilt on demand because the provider
+        callable's output is not observable by the cache.
+        """
+        if rs_community_provider is None:
+            if self._index_cache is not None and \
+                    self._index_cache[0] == self._version:
+                return self._index_cache[1]
+            index = CSRIndex.from_adjacencies(self.propagation_adjacencies())
+            self._index_cache = (self._version, index)
+            return index
+        return CSRIndex.from_adjacencies(self.propagation_adjacencies(
+            rs_community_provider=rs_community_provider))
 
     # -- summary -------------------------------------------------------------------
 

@@ -1,0 +1,172 @@
+"""Unit tests for the repro.runtime substrate."""
+
+import pytest
+
+from repro.bgp.communities import Community
+from repro.bgp.policy import Relationship
+from repro.bgp.prefix import Prefix
+from repro.bgp.propagation import (
+    Adjacency,
+    OriginSpec,
+    bidirectional_adjacencies,
+)
+from repro.runtime import (
+    BitsetIndex,
+    CommunityBagStore,
+    CSRIndex,
+    Interner,
+    PathStore,
+    PipelineContext,
+)
+from repro.runtime.bitset import iter_bits
+from repro.runtime.csr import REL_CUSTOMER, REL_PROVIDER
+
+
+class TestInterner:
+    def test_dense_ids_in_first_intern_order(self):
+        interner = Interner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0
+        assert len(interner) == 2
+        assert interner.value_of(1) == "b"
+        assert interner.id_of("b") == 1
+
+    def test_sorted_input_gives_sorted_ids(self):
+        asns = [20, 5, 90, 7]
+        interner = Interner(sorted(asns))
+        ids = [interner.id_of(asn) for asn in sorted(asns)]
+        assert ids == sorted(ids)
+
+    def test_get_and_contains(self):
+        interner = Interner(["x"])
+        assert "x" in interner
+        assert "y" not in interner
+        assert interner.get("y") is None
+        assert interner.intern_all(["x", "y"]) == [0, 1]
+
+
+class TestPathStore:
+    def test_cons_and_materialize_share_suffixes(self):
+        store = PathStore()
+        origin = store.cons(10)
+        via_20 = store.cons(20, origin)
+        via_30 = store.cons(30, via_20)
+        sibling = store.cons(31, via_20)
+        assert store.materialize(via_30) == (30, 20, 10)
+        assert store.materialize(sibling) == (31, 20, 10)
+        assert store.materialize(origin) == (10,)
+        # The shared suffix is the same tuple object (memoised).
+        assert store.materialize(via_30)[1:] == store.materialize(via_20)
+
+    def test_clear(self):
+        store = PathStore()
+        store.cons(1)
+        store.clear()
+        assert len(store) == 0
+
+
+class TestCommunityBagStore:
+    def test_empty_bag_is_id_zero(self):
+        store = CommunityBagStore()
+        assert store.intern(frozenset()) == CommunityBagStore.EMPTY
+        assert store.value(0) == frozenset()
+
+    def test_union_memoised_and_shared(self):
+        store = CommunityBagStore()
+        a = store.intern(frozenset({Community(1, 1)}))
+        b = store.intern(frozenset({Community(2, 2)}))
+        merged = store.union(a, b)
+        assert store.value(merged) == {Community(1, 1), Community(2, 2)}
+        assert store.union(a, b) == merged
+        assert store.union(b, a) == merged
+        assert store.union(a, 0) == a
+        assert store.union(0, b) == b
+        assert store.union(a, a) == a
+
+
+class TestCSRIndex:
+    def test_node_ids_sorted_by_asn(self):
+        adjacencies = bidirectional_adjacencies(30, 10, Relationship.PROVIDER)
+        index = CSRIndex.from_adjacencies(adjacencies)
+        assert list(index.node_asns) == [10, 30]
+        assert index.id_of[10] == 0 and index.id_of[30] == 1
+
+    def test_phase_partitioning(self):
+        adjacencies = bidirectional_adjacencies(10, 20, Relationship.PROVIDER)
+        adjacencies.append(Adjacency(10, 30, Relationship.PEER))
+        index = CSRIndex.from_adjacencies(adjacencies)
+        assert index.customer_edges.num_edges == 1
+        assert index.customer_edges.rels == [REL_CUSTOMER]
+        assert index.provider_edges.num_edges == 1
+        assert index.provider_edges.rels == [REL_PROVIDER]
+        assert index.peer_edges.num_edges == 1
+        assert index.num_edges == 3
+        assert index.summary()["nodes"] == 3
+
+    def test_edge_communities_interned(self):
+        tag = frozenset({Community(6695, 99)})
+        index = CSRIndex.from_adjacencies([
+            Adjacency(10, 20, Relationship.RS_PEER, communities=tag)])
+        bag_id = index.peer_edges.bags[0]
+        assert bag_id != 0
+        assert index.bags.value(bag_id) == tag
+
+
+class TestBitsetIndex:
+    def test_masks_roundtrip(self):
+        index = BitsetIndex([30, 10, 20])
+        assert index.universe == (10, 20, 30)
+        mask = index.mask_of([20, 30, 999])
+        assert index.values_of(mask) == [20, 30]
+        assert index.full_mask == 0b111
+        assert list(iter_bits(0b101)) == [0, 2]
+
+
+class TestPipelineContext:
+    def _context(self):
+        adjacencies = bidirectional_adjacencies(10, 20, Relationship.PROVIDER)
+        return PipelineContext.from_adjacencies(adjacencies)
+
+    def test_engine_shares_index_and_memoizes_origins(self):
+        context = self._context()
+        engine = context.engine(record_at=[10, 20])
+        origin = OriginSpec(asn=10, prefixes=[Prefix.parse("10.0.0.0/24")])
+        first = engine.propagate([origin])
+        assert context.stats()["memoized_origins"] == 1
+        second = engine.propagate([origin])
+        # The memoised fragment is reused: identical route objects.
+        assert second.best_route(20, 10) is first.best_route(20, 10)
+        context.clear_propagation_cache()
+        assert context.stats()["memoized_origins"] == 0
+
+    def test_record_everything_engine_is_not_memoized(self):
+        # record_at=None materialises a route per AS; memoising that on
+        # the shared context would pin O(origins x nodes) objects.
+        context = self._context()
+        engine = context.engine()
+        origin = OriginSpec(asn=10, prefixes=[Prefix.parse("10.0.0.0/24")])
+        result = engine.propagate([origin])
+        assert result.best_route(20, 10) is not None
+        assert context.stats()["memoized_origins"] == 0
+
+    def test_member_index_cached_until_population_changes(self):
+        context = self._context()
+        first = context.member_index("DE-CIX", [1, 2, 3])
+        assert context.member_index("DE-CIX", [3, 2, 1]) is first
+        changed = context.member_index("DE-CIX", [1, 2])
+        assert changed is not first
+
+    def test_from_graph_uses_graph_cache(self):
+        from repro.topology.as_graph import ASGraph, ASNode
+        graph = ASGraph()
+        graph.add_as(ASNode(asn=10))
+        graph.add_as(ASNode(asn=20))
+        graph.add_c2p(10, 20)
+        index_a = graph.build_index()
+        index_b = graph.build_index()
+        assert index_a is index_b
+        graph.add_as(ASNode(asn=30))
+        assert graph.build_index() is not index_a
+        context = PipelineContext.from_graph(graph)
+        assert context.index.num_nodes == 2  # AS30 has no links yet
