@@ -11,7 +11,7 @@ def test_reciprocity_ablation(scenario, benchmark):
     def run_both():
         strict = scenario.run_inference(require_reciprocity=True)
         loose = scenario.run_inference(require_reciprocity=False)
-        return strict.all_links(), loose.all_links()
+        return set(strict.all_links()), set(loose.all_links())
 
     strict_links, loose_links = benchmark.pedantic(run_both, rounds=1,
                                                    iterations=1)

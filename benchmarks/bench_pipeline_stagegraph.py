@@ -1,0 +1,38 @@
+"""Stage-graph pipeline overheads: warm-cache re-runs and snapshots.
+
+Measures the two costs the staged pipeline introduces on top of the raw
+computation: resolving stages against a warm artifact cache (the price
+of an incremental re-run that recomputes nothing upstream), and the
+context snapshot roundtrip that sharded stages pay per worker.
+"""
+
+from repro.pipeline import AnalysisOptions, ArtifactCache, ScenarioRun
+from repro.runtime.snapshot import restore_context, snapshot_context
+from repro.scenarios.workloads import small_scenario_config
+
+
+def test_warm_cache_rerun(benchmark):
+    cache = ArtifactCache()
+    ScenarioRun(small_scenario_config(), cache=cache).analyses()  # cold fill
+
+    def warm_rerun():
+        run = ScenarioRun(
+            small_scenario_config(), cache=cache,
+            analysis_options=AnalysisOptions(figures=("table2",)))
+        return run.analyses(), run.stage_statuses()
+
+    summaries, statuses = benchmark(warm_rerun)
+    print("\nStage-graph warm re-run (analysis knob changed)")
+    for stage, status in statuses.items():
+        print(f"  {stage:<14} {status}")
+    assert set(summaries) == {"table2"}
+    assert all(status == "memory" for stage, status in statuses.items()
+               if stage != "analyses")
+
+
+def test_context_snapshot_roundtrip(scenario, benchmark):
+    def roundtrip():
+        return restore_context(snapshot_context(scenario.context))
+
+    restored = benchmark(roundtrip)
+    assert restored.index.summary() == scenario.context.index.summary()

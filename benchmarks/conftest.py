@@ -1,10 +1,17 @@
-"""Shared benchmark fixtures: one scenario + inference reused by all benches."""
+"""Shared benchmark fixtures: one scenario + inference reused by all benches.
+
+The fixtures execute through the staged pipeline
+(:class:`repro.pipeline.ScenarioRun`) against one session-scoped
+artifact cache, so every bench in a module shares the scenario and
+inference artifacts instead of re-deriving them per fixture.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.scenarios.europe2013 import ScenarioConfig, build_europe2013
+from repro.pipeline import ArtifactCache, ScenarioRun
+from repro.scenarios.europe2013 import ScenarioConfig
 from repro.topology.generator import GeneratorConfig
 
 
@@ -19,12 +26,18 @@ def benchmark_scenario_config(seed: int = 20130501) -> ScenarioConfig:
 
 
 @pytest.fixture(scope="session")
-def scenario():
-    """The synthetic Europe-2013 measurement scenario."""
-    return build_europe2013(benchmark_scenario_config())
+def scenario_run():
+    """The staged pipeline run all bench fixtures resolve through."""
+    return ScenarioRun(benchmark_scenario_config(), cache=ArtifactCache())
 
 
 @pytest.fixture(scope="session")
-def inference(scenario):
+def scenario(scenario_run):
+    """The synthetic Europe-2013 measurement scenario."""
+    return scenario_run.scenario()
+
+
+@pytest.fixture(scope="session")
+def inference(scenario_run):
     """Full passive+active inference over the scenario."""
-    return scenario.run_inference()
+    return scenario_run.inference()

@@ -10,6 +10,11 @@ and regressions trackable across PRs:
     python benchmarks/run_all.py fig1 substrate # substring filter
     python benchmarks/run_all.py --out results.json
 
+After the run, the most recent prior ``BENCH_*.json`` is loaded and
+per-bench wall-time / peak-RSS deltas are printed; any bench regressing
+more than :data:`REGRESSION_THRESHOLD` gets a warning line and fails
+the invocation (exit code 3).
+
 Requires pytest + pytest-benchmark (the tier-1 test environment).
 """
 
@@ -20,6 +25,7 @@ import datetime
 import json
 import os
 import platform
+import re
 import subprocess
 import sys
 import threading
@@ -28,6 +34,9 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
+
+#: Relative wall/RSS growth beyond which a bench counts as regressed.
+REGRESSION_THRESHOLD = 0.25
 
 
 def discover_benches(filters: list[str]) -> list[Path]:
@@ -84,6 +93,65 @@ def run_bench(path: Path, timeout: float) -> dict:
     }
 
 
+def find_previous_trajectory(exclude: Path) -> Path | None:
+    """The most recent prior ``BENCH_<ISO date>.json`` (by dated name).
+
+    Only date-shaped names participate, so ad-hoc ``--out`` files (e.g.
+    ``BENCH_smoke.json``) never become the comparison baseline.
+    """
+    dated = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})\.json$")
+    candidates = sorted(
+        (match.group(1), path)
+        for path in REPO_ROOT.glob("BENCH_*.json")
+        if (match := dated.match(path.name))
+        and path.resolve() != exclude.resolve())
+    return candidates[-1][1] if candidates else None
+
+
+def compare_with_previous(results: list[dict], previous_path: Path) -> list[str]:
+    """Print per-bench deltas against *previous_path*.
+
+    Returns warning lines (also printed) for benches whose wall time or
+    peak RSS regressed more than :data:`REGRESSION_THRESHOLD`.
+    """
+    try:
+        previous = json.loads(previous_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"[run_all] cannot read previous trajectory "
+              f"{previous_path.name}: {error}", file=sys.stderr)
+        return []
+    baseline = {record["bench"]: record
+                for record in previous.get("benches", [])}
+    print(f"[run_all] deltas vs {previous_path.name} "
+          f"({previous.get('date', '?')})")
+    warnings: list[str] = []
+    for record in results:
+        name = record["bench"]
+        base = baseline.get(name)
+        if base is None or base.get("returncode") != 0 \
+                or record["returncode"] != 0:
+            print(f"[run_all]   {name:<34} (no comparable baseline)")
+            continue
+        deltas = []
+        regressed = []
+        for key, unit, fmt in (("wall_seconds", "s", "+.3f"),
+                               ("max_rss_kb", "kB", "+d")):
+            now, then = record[key], base[key]
+            delta = now - then
+            ratio = (delta / then) if then else 0.0
+            deltas.append(f"{key.split('_')[0]} {delta:{fmt}}{unit} "
+                          f"({ratio:+.1%})")
+            if then and ratio > REGRESSION_THRESHOLD:
+                regressed.append(f"{key} {then} -> {now} ({ratio:+.1%})")
+        print(f"[run_all]   {name:<34} {'  '.join(deltas)}")
+        if regressed:
+            warning = (f"[run_all] WARNING: {name} regressed "
+                       f">{REGRESSION_THRESHOLD:.0%}: {'; '.join(regressed)}")
+            print(warning)
+            warnings.append(warning)
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("filters", nargs="*",
@@ -110,6 +178,7 @@ def main() -> int:
 
     today = datetime.date.today().isoformat()
     out_path = args.out or (REPO_ROOT / f"BENCH_{today}.json")
+    previous_path = find_previous_trajectory(exclude=out_path)
     trajectory = {
         "date": today,
         "python": platform.python_version(),
@@ -118,7 +187,16 @@ def main() -> int:
     }
     out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"[run_all] wrote {out_path}")
-    return 1 if any(r["returncode"] != 0 for r in results) else 0
+
+    warnings: list[str] = []
+    if previous_path is not None:
+        warnings = compare_with_previous(results, previous_path)
+    else:
+        print("[run_all] no previous trajectory to compare against")
+
+    if any(r["returncode"] != 0 for r in results):
+        return 1
+    return 3 if warnings else 0
 
 
 if __name__ == "__main__":

@@ -41,7 +41,7 @@ def main() -> None:
         print(f"  {row['IXP']:<10} {row['LG']:>3} {row['ASes']:>6} {row['RS']:>5} "
               f"{row['Pasv']:>6} {row['Active']:>7} {row['Links']:>8}")
 
-    inferred = result.all_links()
+    inferred = set(result.all_links())
     truth = scenario.ground_truth_links()
     visibility = VisibilityAnalysis(
         inferred, scenario.public_bgp_links(), scenario.traceroute_links())

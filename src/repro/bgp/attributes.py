@@ -149,6 +149,11 @@ class ASPath:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("ASPath is immutable")
 
+    def __reduce__(self):
+        # __setattr__ is blocked, so slot-state pickling cannot restore
+        # instances; rebuild through the constructor instead.
+        return (ASPath, (self._asns,))
+
 
 def common_links(paths: Iterable[ASPath]) -> Set[Tuple[int, int]]:
     """Union of the AS links present in *paths* (sorted endpoint tuples)."""

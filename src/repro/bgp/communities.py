@@ -102,6 +102,11 @@ class Community:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Community is immutable")
 
+    def __reduce__(self):
+        # __setattr__ is blocked, so slot-state pickling cannot restore
+        # instances; rebuild through the constructor instead.
+        return (Community, (self._high, self._low))
+
 
 def parse_community_set(text: str) -> FrozenSet[Community]:
     """Parse a whitespace-separated list of ``high:low`` values."""

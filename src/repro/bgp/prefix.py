@@ -170,3 +170,8 @@ class Prefix:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Prefix is immutable")
+
+    def __reduce__(self):
+        # __setattr__ is blocked, so slot-state pickling cannot restore
+        # instances; rebuild through the constructor instead.
+        return (Prefix, (self._network, self._length))

@@ -312,6 +312,23 @@ class PropagationEngine:
     # -- internals -----------------------------------------------------------
 
     def _propagate_one(self, spec: OriginSpec, result: PropagationResult) -> None:
+        best_routes, offered_routes = self.origin_fragments(spec)
+        origin = spec.asn
+        for route in best_routes:
+            result._record_best(origin, route)
+        for route in offered_routes:
+            result._record_alternative(origin, route)
+
+    def origin_fragments(
+        self, spec: OriginSpec
+    ) -> Tuple[List[PropagatedRoute], List[PropagatedRoute]]:
+        """The recorded (best, offered) routes for one origin.
+
+        This is the unit of work the sharded pipeline distributes across
+        worker processes: fragments are plain materialised routes, safe
+        to pickle and to merge into a :class:`PropagationResult` in any
+        process.
+        """
         origin = spec.asn
         origin_bag = self._bags.intern(frozenset(spec.communities)) \
             if spec.communities else self._bags.EMPTY
@@ -321,14 +338,14 @@ class PropagationEngine:
         if origin_node is None:
             # Origin is isolated; it still holds its own route.
             if recordable is None or origin in recordable:
-                result._record_best(origin, PropagatedRoute(
+                return [PropagatedRoute(
                     asn=origin,
                     path=(origin,),
                     communities=self._bags.value(origin_bag),
                     provenance=CLASS_ORIGIN,
                     learned_from=None,
-                ))
-            return
+                )], []
+            return [], []
 
         # Memoise per-origin fragments only when recording is bounded to
         # explicit observers: a record-everything engine would pin
@@ -343,11 +360,7 @@ class PropagationEngine:
             fragments = self._materialize(state)
             if memoizable:
                 cache[key] = fragments
-        best_routes, offered_routes = fragments
-        for route in best_routes:
-            result._record_best(origin, route)
-        for route in offered_routes:
-            result._record_alternative(origin, route)
+        return fragments
 
     def _materialize(
         self, state: OriginState

@@ -18,8 +18,12 @@ reproduced.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+#: An inferred MLP link: an ordered (lower ASN, higher ASN) pair.
+Link = Tuple[int, int]
 
 from repro.bgp.messages import RibEntry
 from repro.bgp.policy import Relationship
@@ -45,14 +49,19 @@ from repro.runtime.context import PipelineContext
 
 @dataclass
 class IXPInference:
-    """Per-IXP inference outcome (one row of Table 2)."""
+    """Per-IXP inference outcome (one row of Table 2).
+
+    ``links`` is a tuple of sorted ``(a, b)`` pairs in ascending order —
+    a stable, hashable sequence — so downstream consumers never depend
+    on set iteration order.
+    """
 
     ixp_name: str
     members: Set[int] = field(default_factory=set)
     passive_members: Set[int] = field(default_factory=set)
     active_members: Set[int] = field(default_factory=set)
     reachabilities: Dict[int, MemberReachability] = field(default_factory=dict)
-    links: Set[Tuple[int, int]] = field(default_factory=set)
+    links: Tuple[Link, ...] = ()
     active_queries: int = 0
 
     @property
@@ -94,26 +103,26 @@ class MLPInferenceResult:
         return sorted(self.per_ixp,
                       key=lambda name: (-self.per_ixp[name].num_links, name))
 
-    def all_links(self) -> Set[Tuple[int, int]]:
-        """De-duplicated union of the per-IXP link sets."""
-        links: Set[Tuple[int, int]] = set()
+    def all_links(self) -> Tuple[Link, ...]:
+        """De-duplicated union of the per-IXP links, in ascending order."""
+        links: Set[Link] = set()
         for inference in self.per_ixp.values():
-            links |= inference.links
-        return links
+            links.update(inference.links)
+        return tuple(sorted(links))
 
-    def links_by_ixp(self) -> Dict[str, Set[Tuple[int, int]]]:
-        """Per-IXP link sets."""
-        return {name: set(inference.links)
+    def links_by_ixp(self) -> Dict[str, Tuple[Link, ...]]:
+        """Per-IXP sorted link tuples."""
+        return {name: inference.links
                 for name, inference in self.per_ixp.items()}
 
-    def multi_ixp_links(self) -> Set[Tuple[int, int]]:
+    def multi_ixp_links(self) -> Tuple[Link, ...]:
         """Links inferred at more than one IXP (the overlap the paper
-        quantifies: 11,821 links appear at multiple IXPs)."""
-        seen: Dict[Tuple[int, int], int] = {}
+        quantifies: 11,821 links appear at multiple IXPs), ascending."""
+        seen: Dict[Link, int] = {}
         for inference in self.per_ixp.values():
             for link in inference.links:
                 seen[link] = seen.get(link, 0) + 1
-        return {link for link, count in seen.items() if count > 1}
+        return tuple(sorted(link for link, count in seen.items() if count > 1))
 
     def all_member_asns(self) -> Set[int]:
         """Every ASN involved in at least one inferred link."""
@@ -181,12 +190,18 @@ class MLPInferenceEngine:
         rs_looking_glasses: Optional[Mapping[str, RouteServerLookingGlass]] = None,
         third_party_lgs: Optional[Mapping[str, Sequence[ASLookingGlass]]] = None,
         require_reciprocity: bool = True,
+        workers: Optional[int] = None,
     ) -> MLPInferenceResult:
         """Run passive extraction, active collection and link inference.
 
         ``require_reciprocity`` exposes the paper's reciprocity assumption
         as an ablation switch: when False, a single direction of ALLOW is
         enough to infer a link.
+
+        ``workers > 1`` shards the per-IXP inference across a process
+        pool: the engine (minus its runtime context) is shipped to each
+        worker once, every IXP becomes one task, and results are merged
+        in sorted-IXP order — identical output to the in-process loop.
         """
         rs_looking_glasses = dict(rs_looking_glasses or {})
         third_party_lgs = {name: list(lgs)
@@ -197,53 +212,94 @@ class MLPInferenceEngine:
 
         # IXPs are processed in name order so run output (and any caches
         # populated along the way) is independent of mapping order.
-        for ixp_name, members in sorted(self.rs_members.items()):
-            inference = IXPInference(ixp_name=ixp_name, members=set(members))
-            observations: List[PolicyObservation] = []
+        items = sorted(self.rs_members.items())
+        # Lazy import: repro.pipeline sits above core in the layering and
+        # importing it at module scope would cycle through scenarios.
+        from repro.pipeline.shard import resolve_workers
+        worker_count = resolve_workers(workers)
+        if worker_count > 1 and len(items) > 1:
+            payloads = [
+                (ixp_name, members, passive_by_ixp.get(ixp_name, []),
+                 rs_looking_glasses.get(ixp_name),
+                 third_party_lgs.get(ixp_name, []), require_reciprocity)
+                for ixp_name, members in items]
+            with ProcessPoolExecutor(
+                max_workers=min(worker_count, len(items)),
+                initializer=_init_inference_worker,
+                initargs=(self,),
+            ) as pool:
+                for inference in pool.map(_infer_ixp_task, payloads):
+                    result.per_ixp[inference.ixp_name] = inference
+        else:
+            for ixp_name, members in items:
+                result.per_ixp[ixp_name] = self._infer_ixp(
+                    ixp_name, members, passive_by_ixp.get(ixp_name, []),
+                    rs_looking_glasses.get(ixp_name),
+                    third_party_lgs.get(ixp_name, []), require_reciprocity)
+        return result
 
-            passive_observations = passive_by_ixp.get(ixp_name, [])
-            if passive_observations:
-                passive = PassiveInference(self.interpreter, self.relationships)
-                observations.extend(passive.policy_observations(passive_observations))
-                inference.passive_members = {
-                    o.setter_asn for o in passive_observations}
+    def _infer_ixp(
+        self,
+        ixp_name: str,
+        members: Set[int],
+        passive_observations: Sequence[PassiveObservation],
+        rs_lg: Optional[RouteServerLookingGlass],
+        third_party: Sequence[ASLookingGlass],
+        require_reciprocity: bool,
+    ) -> IXPInference:
+        """One IXP's passive/active merge and link inference — the unit
+        of work the sharded path distributes."""
+        inference = IXPInference(ixp_name=ixp_name, members=set(members))
+        observations: List[PolicyObservation] = []
 
-            covered_prefixes = {
-                o.setter_asn: set() for o in passive_observations}
-            for observation in passive_observations:
-                covered_prefixes.setdefault(observation.setter_asn, set()).add(
-                    observation.prefix)
+        if passive_observations:
+            passive = PassiveInference(self.interpreter, self.relationships)
+            observations.extend(passive.policy_observations(passive_observations))
+            inference.passive_members = {
+                o.setter_asn for o in passive_observations}
 
-            if ixp_name in rs_looking_glasses:
-                active = ActiveInference(
-                    rs_looking_glasses[ixp_name],
-                    sample_fraction=self.sample_fraction,
-                    max_prefixes_per_member=self.max_prefixes_per_member)
-                collection = active.collect(
-                    skip_members=inference.passive_members,
-                    covered_prefixes=covered_prefixes)
+        covered_prefixes = {
+            o.setter_asn: set() for o in passive_observations}
+        for observation in passive_observations:
+            covered_prefixes.setdefault(observation.setter_asn, set()).add(
+                observation.prefix)
+
+        if rs_lg is not None:
+            active = ActiveInference(
+                rs_lg,
+                sample_fraction=self.sample_fraction,
+                max_prefixes_per_member=self.max_prefixes_per_member)
+            collection = active.collect(
+                skip_members=inference.passive_members,
+                covered_prefixes=covered_prefixes)
+            observations.extend(
+                collection.policy_observations(self.interpreter))
+            inference.active_members = collection.members_with_communities()
+            inference.active_queries = collection.total_queries
+            # The LG summary is authoritative connectivity data.
+            inference.members |= collection.members
+        else:
+            for lg in third_party:
+                collection = collect_from_third_party_lg(
+                    ixp_name, lg, members, self.interpreter)
                 observations.extend(
                     collection.policy_observations(self.interpreter))
-                inference.active_members = collection.members_with_communities()
-                inference.active_queries = collection.total_queries
-                # The LG summary is authoritative connectivity data.
-                inference.members |= collection.members
-            elif ixp_name in third_party_lgs:
-                for lg in third_party_lgs[ixp_name]:
-                    collection = collect_from_third_party_lg(
-                        ixp_name, lg, members, self.interpreter)
-                    observations.extend(
-                        collection.policy_observations(self.interpreter))
-                    inference.active_members |= collection.members_with_communities()
-                    inference.active_queries += collection.total_queries
+                inference.active_members |= collection.members_with_communities()
+                inference.active_queries += collection.total_queries
 
-            inference.reachabilities = self._merge(ixp_name, observations,
-                                                   inference.members)
-            inference.links = self._infer_links(
-                ixp_name, inference.reachabilities, inference.members,
-                require_reciprocity)
-            result.per_ixp[ixp_name] = inference
-        return result
+        inference.reachabilities = self._merge(ixp_name, observations,
+                                               inference.members)
+        inference.links = self._infer_links(
+            ixp_name, inference.reachabilities, inference.members,
+            require_reciprocity)
+        return inference
+
+    def __getstate__(self):
+        # The runtime context holds process-local caches (and is shared
+        # with other engines); workers rebuild member indices on demand.
+        state = self.__dict__.copy()
+        state["context"] = None
+        return state
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -290,8 +346,29 @@ class MLPInferenceEngine:
         reachabilities: Dict[int, MemberReachability],
         members: Set[int],
         require_reciprocity: bool,
-    ) -> Set[Tuple[int, int]]:
-        return infer_links(
+    ) -> Tuple[Link, ...]:
+        return tuple(sorted(infer_links(
             reachabilities, members,
             index=self._member_index(ixp_name, members),
-            require_reciprocity=require_reciprocity)
+            require_reciprocity=require_reciprocity)))
+
+
+# -- sharded-run worker plumbing ----------------------------------------------
+
+_WORKER_ENGINE: Optional[MLPInferenceEngine] = None
+
+
+def _init_inference_worker(engine: MLPInferenceEngine) -> None:
+    """Pool initializer: one pickled engine copy per worker process."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+
+
+def _infer_ixp_task(payload) -> IXPInference:
+    """Run one IXP's inference inside a worker."""
+    assert _WORKER_ENGINE is not None, "inference worker not initialised"
+    (ixp_name, members, passive_observations, rs_lg, third_party,
+     require_reciprocity) = payload
+    return _WORKER_ENGINE._infer_ixp(
+        ixp_name, members, passive_observations, rs_lg, third_party,
+        require_reciprocity)

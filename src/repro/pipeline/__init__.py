@@ -1,0 +1,44 @@
+"""Staged scenario pipeline: artifact-cached stage graph + sharding.
+
+The pipeline package turns the monolithic per-scenario pass into a
+declarative stage graph:
+
+* :class:`Stage` / :class:`StageGraph` (``stage.py``) — stages declare
+  their inputs, the config keys they read, and derive deterministic
+  fingerprints (config + upstream fingerprints);
+* :class:`ArtifactCache` (``cache.py``) — memory + optional on-disk
+  artifact store keyed by fingerprint, so re-running a scenario with one
+  changed knob only recomputes the stages downstream of the change;
+* :class:`ScenarioRun` (``run.py``) — binds a
+  :class:`~repro.scenarios.europe2013.ScenarioConfig` to the europe2013
+  stage graph and executes stages on demand;
+* ``shard.py`` — multi-process execution of the per-origin propagation
+  sweep with worker contexts rebuilt from compact
+  :mod:`repro.runtime.snapshot` captures;
+* ``analyses.py`` — the per-figure analysis registry (Table 2,
+  figures 6/7/12) with optional per-figure sharding.
+"""
+
+from repro.pipeline.analyses import AnalysisOptions, run_analyses
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.run import (
+    InferenceOptions,
+    ScenarioRun,
+    StageEvent,
+    europe2013_stage_graph,
+)
+from repro.pipeline.shard import sharded_propagate
+from repro.pipeline.stage import Stage, StageGraph
+
+__all__ = [
+    "AnalysisOptions",
+    "ArtifactCache",
+    "InferenceOptions",
+    "ScenarioRun",
+    "Stage",
+    "StageEvent",
+    "StageGraph",
+    "europe2013_stage_graph",
+    "run_analyses",
+    "sharded_propagate",
+]

@@ -1,0 +1,95 @@
+"""The artifact cache behind :class:`~repro.pipeline.run.ScenarioRun`.
+
+Artifacts are stored under ``(stage name, fingerprint)``.  The memory
+layer is a plain dict and is what makes warm re-runs within a process
+instant; the optional disk layer (pickle files under ``cache_dir``)
+carries artifacts across processes and sessions for the stages that opt
+in via ``Stage.persist``.
+
+A shared :class:`ArtifactCache` instance can back any number of
+:class:`ScenarioRun` objects; fingerprints guarantee that runs only see
+artifacts produced under an identical configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Cache-lookup outcomes recorded in run events.
+STATUS_MEMORY = "memory"
+STATUS_DISK = "disk"
+STATUS_COMPUTED = "computed"
+
+
+class ArtifactCache:
+    """Two-layer (memory + optional pickle-on-disk) artifact store."""
+
+    def __init__(self, cache_dir: Optional[Path] = None) -> None:
+        self._memory: Dict[Tuple[str, str], Any] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, stage_name: str, fingerprint: str,
+            allow_disk: bool = True) -> Tuple[Optional[str], Any]:
+        """Look up an artifact; returns ``(status, value)``.
+
+        ``status`` is :data:`STATUS_MEMORY`, :data:`STATUS_DISK` or None
+        (miss).  Disk hits are promoted into the memory layer.
+        """
+        key = (stage_name, fingerprint)
+        if key in self._memory:
+            return STATUS_MEMORY, self._memory[key]
+        if allow_disk and self.cache_dir is not None:
+            path = self._disk_path(stage_name, fingerprint)
+            if path.is_file():
+                try:
+                    with path.open("rb") as handle:
+                        payload = pickle.load(handle)
+                except Exception:
+                    # Corrupt or stale (e.g. written by an incompatible
+                    # code version) file: treat as a miss and recompute.
+                    return None, None
+                if isinstance(payload, dict) and \
+                        payload.get("fingerprint") == fingerprint:
+                    value = payload["artifact"]
+                    self._memory[key] = value
+                    return STATUS_DISK, value
+        return None, None
+
+    def put(self, stage_name: str, fingerprint: str, value: Any,
+            persist: bool = False) -> None:
+        """Store an artifact (and write it to disk when *persist*)."""
+        self._memory[(stage_name, fingerprint)] = value
+        if persist and self.cache_dir is not None:
+            path = self._disk_path(stage_name, fingerprint)
+            # Per-process sidecar name so concurrent writers sharing the
+            # directory never interleave into one file; the final rename
+            # is atomic and last-writer-wins with identical content.
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as handle:
+                pickle.dump({"fingerprint": fingerprint, "artifact": value},
+                            handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk files are kept)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, stage_name: str, fingerprint: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{stage_name}-{fingerprint[:32]}.pkl"
+
+    def __repr__(self) -> str:
+        where = f", dir={self.cache_dir}" if self.cache_dir else ""
+        return f"ArtifactCache({len(self._memory)} artifacts{where})"

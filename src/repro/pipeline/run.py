@@ -1,0 +1,280 @@
+"""`ScenarioRun`: execute the europe2013 stage graph with artifact caching.
+
+A :class:`ScenarioRun` binds a :class:`ScenarioConfig` (plus inference/
+analysis option namespaces) to the declarative stage graph and executes
+stages on demand::
+
+    run = ScenarioRun(small_scenario_config())
+    scenario = run.scenario()        # builds topology..scenario stages
+    result = run.inference()         # + connectivity + inference
+    figures = run.analyses()         # + per-figure summaries
+
+Artifacts live in an :class:`~repro.pipeline.cache.ArtifactCache` keyed
+by stage fingerprint.  Sharing one cache across runs makes warm re-runs
+skip every stage whose fingerprint is unchanged — re-running with only
+an analysis knob changed recomputes *only* the analyses stage::
+
+    cache = ArtifactCache()
+    ScenarioRun(cfg, cache=cache).analyses()
+    tweaked = ScenarioRun(cfg, cache=cache,
+                          analysis_options=AnalysisOptions(figures=("table2",)))
+    tweaked.analyses()               # every upstream stage is a cache hit
+
+``workers`` shards the embarrassingly parallel stages (per-origin
+propagation, per-IXP inference, per-figure analyses) across process
+pools; it is an execution detail and deliberately not part of any
+fingerprint — sharded and single-process runs produce identical
+artifacts (asserted by the pipeline test suite).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, NamedTuple, Optional, Union
+
+from repro.pipeline.analyses import AnalysisOptions, run_analyses
+from repro.pipeline.cache import STATUS_COMPUTED, ArtifactCache
+from repro.pipeline.stage import Stage, StageGraph
+from repro.scenarios import europe2013 as e13
+from repro.scenarios.europe2013 import Scenario, ScenarioConfig
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InferenceOptions:
+    """Knobs of the inference stage (the paper's ablation switches)."""
+
+    use_passive: bool = True
+    use_active: bool = True
+    require_reciprocity: bool = True
+
+
+class StageEvent(NamedTuple):
+    """One resolved stage: where its artifact came from and how long."""
+
+    stage: str
+    status: str          #: "memory" / "disk" / "computed"
+    seconds: float
+    fingerprint: str
+
+
+# -- stage bodies --------------------------------------------------------------
+
+def _run_inference(run: "ScenarioRun"):
+    scenario: Scenario = run.artifact("scenario")
+    connectivity = run.artifact("connectivity")
+    options = run.inference_options
+    engine = scenario.make_engine(connectivity=connectivity)
+    passive_entries = scenario.archive.clean_stable_entries() \
+        if options.use_passive else None
+    rs_lgs = scenario.rs_looking_glasses if options.use_active else {}
+    third_party = scenario.third_party_lgs if options.use_active else {}
+    return engine.run(
+        passive_entries=passive_entries,
+        rs_looking_glasses=rs_lgs,
+        third_party_lgs=third_party,
+        require_reciprocity=options.require_reciprocity,
+        workers=run.workers,
+    )
+
+
+def europe2013_stage_graph() -> StageGraph:
+    """The declarative stage graph of the Europe-2013 scenario pipeline."""
+    return StageGraph([
+        Stage(
+            "topology",
+            fn=lambda run: e13.stage_topology(run.config),
+            config_keys=("generator",),
+            persist=True,
+        ),
+        Stage(
+            "ixps",
+            fn=lambda run: e13.stage_ixps(
+                run.config, run.artifact("topology")),
+            deps=("topology",),
+            config_keys=("seed", "cone_prefix_fraction",
+                         "inconsistent_member_fraction"),
+        ),
+        Stage(
+            "propagation",
+            fn=lambda run: e13.stage_propagation(
+                run.config, run.artifact("topology"), run.artifact("ixps"),
+                workers=run.workers),
+            deps=("topology", "ixps"),
+            config_keys=("vantage_point_fraction", "full_feed_fraction",
+                         "third_party_lgs_per_ixp", "num_traceroute_monitors",
+                         "num_validation_lgs"),
+            persist=True,
+        ),
+        Stage(
+            "collectors",
+            fn=lambda run: e13.stage_collectors(
+                run.config, run.artifact("propagation")),
+            deps=("propagation",),
+            config_keys=("seed", "window", "transient_fraction"),
+        ),
+        Stage(
+            "viewpoints",
+            fn=lambda run: e13.stage_viewpoints(
+                run.config, run.artifact("topology"), run.artifact("ixps"),
+                run.artifact("propagation")),
+            deps=("topology", "ixps", "propagation"),
+            config_keys=("all_paths_lg_fraction",),
+        ),
+        Stage(
+            "registries",
+            fn=lambda run: e13.stage_registries(
+                run.config, run.artifact("topology"),
+                run.artifact("viewpoints")),
+            deps=("topology", "viewpoints"),
+        ),
+        Stage(
+            "scenario",
+            fn=lambda run: e13.stage_scenario(
+                run.config, run.artifact("topology"), run.artifact("ixps"),
+                run.artifact("propagation"), run.artifact("collectors"),
+                run.artifact("viewpoints"), run.artifact("registries")),
+            deps=("topology", "ixps", "propagation", "collectors",
+                  "viewpoints", "registries"),
+        ),
+        Stage(
+            "connectivity",
+            fn=lambda run: run.artifact("scenario").discover_connectivity(),
+            deps=("scenario",),
+        ),
+        Stage(
+            "inference",
+            fn=_run_inference,
+            deps=("scenario", "connectivity"),
+            options_key="inference",
+            persist=True,
+        ),
+        Stage(
+            "analyses",
+            fn=lambda run: run_analyses(
+                run.artifact("scenario"), run.artifact("inference"),
+                options=run.analysis_options, workers=run.workers),
+            deps=("scenario", "inference"),
+            options_key="analysis",
+        ),
+    ])
+
+
+class ScenarioRun:
+    """Execute the scenario pipeline against an artifact cache."""
+
+    def __init__(
+        self,
+        config: Optional[ScenarioConfig] = None,
+        *,
+        inference_options: Optional[InferenceOptions] = None,
+        analysis_options: Optional[AnalysisOptions] = None,
+        workers: Optional[int] = None,
+        cache: Optional[ArtifactCache] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        graph: Optional[StageGraph] = None,
+    ) -> None:
+        self.config = config or ScenarioConfig()
+        self.inference_options = inference_options or InferenceOptions()
+        self.analysis_options = analysis_options or AnalysisOptions()
+        self.workers = workers
+        self.cache = cache if cache is not None else ArtifactCache(
+            Path(cache_dir) if cache_dir is not None else None)
+        self.graph = graph or europe2013_stage_graph()
+        #: stage -> artifact resolved by *this* run (one entry per stage).
+        self._resolved: Dict[str, Any] = {}
+        #: one event per stage resolved by this run, in resolution order.
+        self.events: List[StageEvent] = []
+        self._fingerprints: Optional[Dict[str, str]] = None
+
+    # -- fingerprints ---------------------------------------------------------
+
+    def fingerprints(self) -> Dict[str, str]:
+        """Fingerprint of every stage under this run's config/options."""
+        if self._fingerprints is None:
+            config_keys = {key for name in self.graph.names()
+                           for key in self.graph.stage(name).config_keys}
+            config_repr = {key: repr(getattr(self.config, key))
+                           for key in sorted(config_keys)}
+            options_repr = {
+                "inference": repr(self.inference_options),
+                "analysis": repr(self.analysis_options),
+            }
+            self._fingerprints = self.graph.fingerprints(
+                config_repr, options_repr)
+        return self._fingerprints
+
+    def fingerprint(self, stage_name: str) -> str:
+        """The fingerprint of one stage."""
+        return self.fingerprints()[stage_name]
+
+    # -- execution ------------------------------------------------------------
+
+    def artifact(self, stage_name: str) -> Any:
+        """The artifact of *stage_name*, computing it (and its ancestors)
+        on cache miss."""
+        if stage_name in self._resolved:
+            return self._resolved[stage_name]
+        stage = self.graph.stage(stage_name)
+        fingerprint = self.fingerprint(stage_name)
+        status, value = self.cache.get(stage_name, fingerprint,
+                                       allow_disk=stage.persist)
+        seconds = 0.0
+        if status is None:
+            for dep in stage.deps:
+                self.artifact(dep)
+            started = time.perf_counter()
+            value = stage.fn(self)
+            seconds = time.perf_counter() - started
+            self.cache.put(stage_name, fingerprint, value,
+                           persist=stage.persist)
+            status = STATUS_COMPUTED
+        self._resolved[stage_name] = value
+        self.events.append(StageEvent(stage_name, status, seconds, fingerprint))
+        return value
+
+    # -- convenience accessors ------------------------------------------------
+
+    def scenario(self) -> Scenario:
+        """The assembled measurement environment."""
+        return self.artifact("scenario")
+
+    def connectivity(self):
+        """Connectivity-discovery reports per IXP."""
+        return self.artifact("connectivity")
+
+    def inference(self):
+        """The end-to-end MLP inference result."""
+        return self.artifact("inference")
+
+    def analyses(self) -> Dict[str, dict]:
+        """The per-figure analysis summaries."""
+        return self.artifact("analyses")
+
+    def table2(self) -> List[Dict[str, object]]:
+        """The paper's Table 2 rows (via the analyses stage)."""
+        summaries = self.analyses()
+        if "table2" in summaries:
+            return summaries["table2"]["rows"]
+        from repro.pipeline.analyses import _analyse_table2
+        return _analyse_table2(self.scenario(), self.inference(),
+                               self.analysis_options)["rows"]
+
+    # -- introspection --------------------------------------------------------
+
+    def stage_statuses(self) -> Dict[str, str]:
+        """Stage -> cache status for every stage this run resolved."""
+        return {event.stage: event.status for event in self.events}
+
+    def cache_summary(self) -> Dict[str, int]:
+        """Counts of resolved stages per cache status."""
+        summary: Dict[str, int] = {}
+        for event in self.events:
+            summary[event.status] = summary.get(event.status, 0) + 1
+        return summary
+
+    def __repr__(self) -> str:
+        resolved = ", ".join(f"{e.stage}:{e.status}" for e in self.events)
+        return f"ScenarioRun({resolved or 'nothing resolved'})"

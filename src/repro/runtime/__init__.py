@@ -17,7 +17,10 @@ of materialising per-route objects:
   reachability/link-inference layer;
 * :class:`PipelineContext` — owns the interners, the index and the
   memoised per-origin propagation results, and is threaded through the
-  whole pipeline.
+  whole pipeline;
+* :class:`ContextSnapshot` — a compact, picklable capture of a context
+  that sharded pipeline stages ship to worker processes
+  (:func:`snapshot_context` / :func:`restore_context`).
 """
 
 from repro.runtime.bitset import BitsetIndex
@@ -25,15 +28,23 @@ from repro.runtime.context import PipelineContext
 from repro.runtime.csr import CSRIndex
 from repro.runtime.frontier import FrontierPropagator, OriginState
 from repro.runtime.interning import Interner
+from repro.runtime.snapshot import (
+    ContextSnapshot,
+    restore_context,
+    snapshot_context,
+)
 from repro.runtime.stores import CommunityBagStore, PathStore
 
 __all__ = [
     "BitsetIndex",
     "CommunityBagStore",
+    "ContextSnapshot",
     "CSRIndex",
     "FrontierPropagator",
     "Interner",
     "OriginState",
     "PathStore",
     "PipelineContext",
+    "restore_context",
+    "snapshot_context",
 ]

@@ -1,0 +1,113 @@
+"""Compact, picklable snapshots of a :class:`PipelineContext`.
+
+Sharded stages ship the runtime substrate to worker processes once per
+pool, not once per task.  A :class:`ContextSnapshot` flattens the parts
+of the context that are expensive to rebuild — the ASN interner and the
+three CSR phase-edge blocks — into ``array('q')`` buffers (pickled as
+raw machine words, far smaller and faster than lists of Python ints)
+plus the interned community bags.  Workers call :func:`restore_context`
+from their pool initializer and reconstruct a fully functional context:
+same node ids, same bag ids, same deterministic propagation.
+
+Transient state (path store cells, memoised routes, member bitset
+indices) is deliberately *not* captured: it is derived data that each
+worker recomputes for the origins it is assigned.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, FrozenSet, Hashable, Tuple
+
+from repro.runtime.csr import CSRIndex, PhaseEdges
+from repro.runtime.interning import Interner
+from repro.runtime.stores import CommunityBagStore
+
+if TYPE_CHECKING:
+    from repro.runtime.context import PipelineContext
+
+#: One CSR phase as five parallel machine-word arrays
+#: (indptr, targets, rels, bags, vias).
+PhaseArrays = Tuple[array, array, array, array, array]
+
+
+@dataclass(frozen=True)
+class ContextSnapshot:
+    """Everything needed to rebuild a :class:`PipelineContext` elsewhere."""
+
+    node_asns: array                       #: node id -> ASN, ascending
+    bag_values: Tuple[FrozenSet[Hashable], ...]  #: bag id -> community set
+    customer_phase: PhaseArrays
+    peer_phase: PhaseArrays
+    provider_phase: PhaseArrays
+    num_edges: int
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_asns)
+
+
+def _pack_phase(phase: PhaseEdges) -> PhaseArrays:
+    return (array("q", phase.indptr), array("q", phase.targets),
+            array("q", phase.rels), array("q", phase.bags),
+            array("q", phase.vias))
+
+
+def _unpack_phase(packed: PhaseArrays) -> PhaseEdges:
+    indptr, targets, rels, bags, vias = packed
+    return PhaseEdges(indptr=list(indptr), targets=list(targets),
+                      rels=list(rels), bags=list(bags), vias=list(vias))
+
+
+def snapshot_context(context: "PipelineContext") -> ContextSnapshot:
+    """Capture the context's index in compact, picklable form."""
+    index = context.index
+    bag_values = tuple(index.bags._values)
+    return ContextSnapshot(
+        node_asns=array("q", index.node_asns),
+        bag_values=bag_values,
+        customer_phase=_pack_phase(index.customer_edges),
+        peer_phase=_pack_phase(index.peer_edges),
+        provider_phase=_pack_phase(index.provider_edges),
+        num_edges=index.num_edges,
+    )
+
+
+def restore_context(snapshot: ContextSnapshot) -> "PipelineContext":
+    """Rebuild a fresh :class:`PipelineContext` from *snapshot*.
+
+    Node and bag ids are preserved exactly (values are re-interned in id
+    order), so path tie-breaking and community-bag references behave
+    identically to the originating context.
+    """
+    from repro.runtime.context import PipelineContext
+
+    asns = Interner(list(snapshot.node_asns))
+    bags = CommunityBagStore()
+    for bag in snapshot.bag_values:
+        bags.intern(bag)
+    index = CSRIndex(
+        asns=asns,
+        bags=bags,
+        customer_edges=_unpack_phase(snapshot.customer_phase),
+        peer_edges=_unpack_phase(snapshot.peer_phase),
+        provider_edges=_unpack_phase(snapshot.provider_phase),
+        num_edges=snapshot.num_edges,
+    )
+    return PipelineContext(index)
+
+
+def snapshot_sizes(snapshot: ContextSnapshot) -> dict:
+    """Rough per-component byte sizes (introspection / benchmarks)."""
+    def phase_bytes(packed: PhaseArrays) -> int:
+        return sum(arr.itemsize * len(arr) for arr in packed)
+
+    return {
+        "nodes": len(snapshot.node_asns),
+        "node_bytes": snapshot.node_asns.itemsize * len(snapshot.node_asns),
+        "bags": len(snapshot.bag_values),
+        "customer_phase_bytes": phase_bytes(snapshot.customer_phase),
+        "peer_phase_bytes": phase_bytes(snapshot.peer_phase),
+        "provider_phase_bytes": phase_bytes(snapshot.provider_phase),
+    }

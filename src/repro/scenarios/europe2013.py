@@ -191,8 +191,13 @@ class Scenario:
         use_passive: bool = True,
         use_active: bool = True,
         require_reciprocity: bool = True,
+        workers: Optional[int] = None,
     ) -> MLPInferenceResult:
-        """Run the end-to-end inference pipeline of section 4."""
+        """Run the end-to-end inference pipeline of section 4.
+
+        ``workers > 1`` shards the per-IXP passive/active inference
+        across a process pool (identical results, deterministic order).
+        """
         engine = self.make_engine()
         passive_entries = self.archive.clean_stable_entries() if use_passive else None
         rs_lgs = self.rs_looking_glasses if use_active else {}
@@ -202,6 +207,7 @@ class Scenario:
             rs_looking_glasses=rs_lgs,
             third_party_lgs=third_party,
             require_reciprocity=require_reciprocity,
+            workers=workers,
         )
 
     # -- misc helpers ---------------------------------------------------------------------
@@ -221,60 +227,193 @@ def _as_set_name(ixp_name: str) -> str:
 
 
 # ---------------------------------------------------------------------------
-# scenario assembly
+# scenario assembly: the stage functions of the pipeline's stage graph
 # ---------------------------------------------------------------------------
+#
+# Assembly is split into stages executed by
+# :class:`~repro.pipeline.run.ScenarioRun`.  Each stage is a pure
+# function of the config and its upstream artifacts, so artifacts are
+# cacheable by fingerprint; the shared random stream of the original
+# monolithic builder is preserved bit-for-bit by threading the
+# ``random.Random`` state through the artifacts (a stage restores the
+# upstream state, draws, and publishes the resulting state).
 
 
-def build_europe2013(config: Optional[ScenarioConfig] = None) -> Scenario:
-    """Assemble the full scenario (see the module docstring)."""
-    config = config or ScenarioConfig()
+def stage_topology(config: ScenarioConfig) -> GeneratedInternet:
+    """Generate the synthetic Internet (graph, IXP specs, ground truth)."""
+    return InternetGenerator(config.generator).generate()
+
+
+def stage_ixps(config: ScenarioConfig, internet: GeneratedInternet) -> Dict[str, object]:
+    """Build IXPs/route servers and announce member routes to the RSes."""
     rng = random.Random(config.seed)
-
-    internet = InternetGenerator(config.generator).generate()
-    graph = internet.graph
-
     schemes = _build_schemes(internet.ixp_specs)
-    ixps, route_servers = _build_ixps(internet, schemes, rng, config)
+    ixps, route_servers = _build_ixps(internet, schemes, config)
     _announce_routes(internet, route_servers, rng, config)
+    return {
+        "schemes": schemes,
+        "ixps": ixps,
+        "route_servers": route_servers,
+        "rng_state": rng.getstate(),
+    }
 
-    (context, propagation, vantage_points, lg_hosts, monitors,
-     validation_hosts) = _propagate(internet, route_servers, rng, config)
 
+def stage_propagation(
+    config: ScenarioConfig,
+    internet: GeneratedInternet,
+    ixps_artifact: Dict[str, object],
+    workers: Optional[int] = None,
+) -> Dict[str, object]:
+    """Pick observation points and run valley-free propagation.
+
+    The per-origin frontier runs are embarrassingly parallel; with
+    ``workers > 1`` they are sharded across a process pool (worker
+    contexts rebuilt from a :mod:`repro.runtime.snapshot`), with results
+    bit-identical to the single-process path.
+    """
+    graph = internet.graph
+    route_servers: Dict[str, RouteServer] = ixps_artifact["route_servers"]
+    rng = random.Random()
+    rng.setstate(ixps_artifact["rng_state"])
+
+    vantage_points = _pick_vantage_points(internet, rng, config)
+    vantage_asns = [vp.asn for vp in vantage_points]
+    lg_hosts = _pick_third_party_lg_hosts(internet, rng, config)
+    monitors = _pick_traceroute_monitors(internet, rng, config)
+    validation_hosts = _pick_validation_hosts(internet, rng, config)
+
+    record_at = set(vantage_asns) | set(monitors) | set(validation_hosts)
+    for hosts in lg_hosts.values():
+        record_at.update(hosts)
+
+    def rs_communities(asn: int, ixp_name: str) -> FrozenSet[Community]:
+        route_server = route_servers.get(ixp_name)
+        if route_server is None or not route_server.is_member(asn):
+            return frozenset()
+        policy = route_server.member_policy(asn)
+        return policy.communities_for(route_server.scheme, None, route_server.mapper)
+
+    context = PipelineContext.from_graph(
+        graph, rs_community_provider=rs_communities)
+    origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
+               for node in graph.nodes() if node.prefixes]
+
+    from repro.pipeline.shard import sharded_propagate
+    propagation = sharded_propagate(
+        context, origins, record_at, set(validation_hosts), workers)
+
+    return {
+        "context": context,
+        "propagation": propagation,
+        "vantage_points": vantage_points,
+        "lg_hosts": lg_hosts,
+        "monitors": monitors,
+        "validation_hosts": validation_hosts,
+        "rng_state": rng.getstate(),
+    }
+
+
+def stage_collectors(
+    config: ScenarioConfig, propagation_artifact: Dict[str, object]
+) -> Dict[str, object]:
+    """Archive collector table dumps over the measurement window."""
     collectors, archive = _build_collectors(
-        vantage_points, propagation, config, rng)
+        propagation_artifact["vantage_points"],
+        propagation_artifact["propagation"],
+        config)
+    return {"collectors": collectors, "archive": archive}
+
+
+def stage_viewpoints(
+    config: ScenarioConfig,
+    internet: GeneratedInternet,
+    ixps_artifact: Dict[str, object],
+    propagation_artifact: Dict[str, object],
+) -> Dict[str, object]:
+    """Build looking glasses (RS, third-party, validation) and PeeringDB."""
+    route_servers: Dict[str, RouteServer] = ixps_artifact["route_servers"]
+    rng = random.Random()
+    rng.setstate(propagation_artifact["rng_state"])
     rs_lgs = _build_rs_lgs(internet, route_servers)
     third_party_lgs = _build_third_party_lgs(
-        internet, route_servers, lg_hosts, rng, config)
+        internet, route_servers, propagation_artifact["lg_hosts"])
     validation_lgs, peeringdb = _build_validation_lgs_and_peeringdb(
-        internet, propagation, route_servers, validation_hosts, rng, config)
+        internet, propagation_artifact["propagation"], route_servers,
+        propagation_artifact["validation_hosts"], rng, config)
+    return {
+        "rs_looking_glasses": rs_lgs,
+        "third_party_lgs": third_party_lgs,
+        "validation_lgs": validation_lgs,
+        "peeringdb": peeringdb,
+        "rng_state": rng.getstate(),
+    }
+
+
+def stage_registries(
+    config: ScenarioConfig,
+    internet: GeneratedInternet,
+    viewpoints_artifact: Dict[str, object],
+) -> Dict[str, object]:
+    """Build the IRR database and the geolocation substrate."""
+    rng = random.Random()
+    rng.setstate(viewpoints_artifact["rng_state"])
     irr = _build_irr(internet, rng)
-    geolocation = _build_geolocation(graph)
+    geolocation = _build_geolocation(internet.graph)
+    return {"irr": irr, "geolocation": geolocation}
+
+
+def stage_scenario(
+    config: ScenarioConfig,
+    internet: GeneratedInternet,
+    ixps_artifact: Dict[str, object],
+    propagation_artifact: Dict[str, object],
+    collectors_artifact: Dict[str, object],
+    viewpoints_artifact: Dict[str, object],
+    registries_artifact: Dict[str, object],
+) -> Scenario:
+    """Assemble the :class:`Scenario` from the stage artifacts."""
     traceroute = TracerouteCampaign(
-        graph,
-        TracerouteConfig(monitor_asns=monitors, report_rs_hop_as_rs_link=True),
+        internet.graph,
+        TracerouteConfig(monitor_asns=propagation_artifact["monitors"],
+                         report_rs_hop_as_rs_link=True),
         rs_asn_by_ixp={spec.name: spec.rs_asn for spec in internet.ixp_specs},
     )
-
     return Scenario(
         config=config,
         internet=internet,
-        graph=graph,
-        schemes=schemes,
-        ixps=ixps,
-        route_servers=route_servers,
-        rs_looking_glasses=rs_lgs,
-        third_party_lgs=third_party_lgs,
-        collectors=collectors,
-        archive=archive,
-        propagation=propagation,
-        irr=irr,
-        peeringdb=peeringdb,
-        geolocation=geolocation,
-        validation_lgs=validation_lgs,
+        graph=internet.graph,
+        schemes=ixps_artifact["schemes"],
+        ixps=ixps_artifact["ixps"],
+        route_servers=ixps_artifact["route_servers"],
+        rs_looking_glasses=viewpoints_artifact["rs_looking_glasses"],
+        third_party_lgs=viewpoints_artifact["third_party_lgs"],
+        collectors=collectors_artifact["collectors"],
+        archive=collectors_artifact["archive"],
+        propagation=propagation_artifact["propagation"],
+        irr=registries_artifact["irr"],
+        peeringdb=viewpoints_artifact["peeringdb"],
+        geolocation=registries_artifact["geolocation"],
+        validation_lgs=viewpoints_artifact["validation_lgs"],
         traceroute=traceroute,
-        vantage_points=vantage_points,
-        context=context,
+        vantage_points=propagation_artifact["vantage_points"],
+        context=propagation_artifact["context"],
     )
+
+
+def build_europe2013(
+    config: Optional[ScenarioConfig] = None,
+    workers: Optional[int] = None,
+) -> Scenario:
+    """Assemble the full scenario (see the module docstring).
+
+    This is a convenience wrapper over the staged pipeline: it executes
+    the stage graph through a fresh
+    :class:`~repro.pipeline.run.ScenarioRun` (no shared cache) and
+    returns the assembled :class:`Scenario`.  ``workers`` shards the
+    propagation stage across a process pool.
+    """
+    from repro.pipeline.run import ScenarioRun
+    return ScenarioRun(config or ScenarioConfig(), workers=workers).scenario()
 
 
 def _build_schemes(ixp_specs: Sequence[IXPSpec]) -> SchemeRegistry:
@@ -288,7 +427,6 @@ def _build_schemes(ixp_specs: Sequence[IXPSpec]) -> SchemeRegistry:
 def _build_ixps(
     internet: GeneratedInternet,
     schemes: SchemeRegistry,
-    rng: random.Random,
     config: ScenarioConfig,
 ) -> Tuple[Dict[str, IXP], Dict[str, RouteServer]]:
     ixps: Dict[str, IXP] = {}
@@ -359,45 +497,6 @@ def _announce_routes(
                         route_server.announce(asn, prefix, path, communities)
                         continue
                 route_server.announce(asn, prefix, path)
-
-
-def _propagate(
-    internet: GeneratedInternet,
-    route_servers: Dict[str, RouteServer],
-    rng: random.Random,
-    config: ScenarioConfig,
-) -> Tuple[PipelineContext, PropagationResult, List[VantagePoint],
-           Dict[str, List[int]], List[int], List[int]]:
-    graph = internet.graph
-
-    vantage_points = _pick_vantage_points(internet, rng, config)
-    vantage_asns = [vp.asn for vp in vantage_points]
-    lg_hosts = _pick_third_party_lg_hosts(internet, rng, config)
-    monitors = _pick_traceroute_monitors(internet, rng, config)
-    validation_hosts = _pick_validation_hosts(internet, rng, config)
-
-    record_at = set(vantage_asns) | set(monitors) | set(validation_hosts)
-    for hosts in lg_hosts.values():
-        record_at.update(hosts)
-
-    def rs_communities(asn: int, ixp_name: str) -> FrozenSet[Community]:
-        route_server = route_servers.get(ixp_name)
-        if route_server is None or not route_server.is_member(asn):
-            return frozenset()
-        policy = route_server.member_policy(asn)
-        return policy.communities_for(route_server.scheme, None, route_server.mapper)
-
-    context = PipelineContext.from_graph(
-        graph, rs_community_provider=rs_communities)
-    engine = context.engine(
-        record_at=record_at,
-        record_alternatives_at=set(validation_hosts),
-    )
-    origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
-               for node in graph.nodes() if node.prefixes]
-    propagation = engine.propagate(origins)
-    return (context, propagation, vantage_points, lg_hosts, monitors,
-            validation_hosts)
 
 
 def _pick_vantage_points(
@@ -472,7 +571,6 @@ def _build_collectors(
     vantage_points: List[VantagePoint],
     propagation: PropagationResult,
     config: ScenarioConfig,
-    rng: random.Random,
 ) -> Tuple[List[RouteCollector], CollectorArchive]:
     route_views = RouteCollector(name="route-views")
     ripe_ris = RouteCollector(name="rrc00")
@@ -496,8 +594,6 @@ def _build_third_party_lgs(
     internet: GeneratedInternet,
     route_servers: Dict[str, RouteServer],
     lg_hosts: Dict[str, List[int]],
-    rng: random.Random,
-    config: ScenarioConfig,
 ) -> Dict[str, List[ASLookingGlass]]:
     result: Dict[str, List[ASLookingGlass]] = {}
     for ixp_name, hosts in lg_hosts.items():

@@ -48,3 +48,30 @@ def large_scenario_config(seed: int = 20130501) -> ScenarioConfig:
         num_validation_lgs=70,
         num_traceroute_monitors=30,
     )
+
+
+#: Named workload sizes, for CLI-ish entry points and the smoke job.
+WORKLOADS = {
+    "small": small_scenario_config,
+    "medium": medium_scenario_config,
+    "large": large_scenario_config,
+}
+
+
+def scenario_run(size: str = "small", seed: int = 20130501, *,
+                 workers=None, cache=None, cache_dir=None):
+    """A :class:`~repro.pipeline.run.ScenarioRun` for a named workload.
+
+    This is the canonical entry point for executing a workload through
+    the staged pipeline: stages resolve lazily, artifacts land in
+    *cache* (or a fresh one), and ``workers`` shards the parallel
+    stages.
+    """
+    try:
+        factory = WORKLOADS[size]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {size!r} (choose from {sorted(WORKLOADS)})")
+    from repro.pipeline.run import ScenarioRun
+    return ScenarioRun(factory(seed), workers=workers, cache=cache,
+                       cache_dir=cache_dir)

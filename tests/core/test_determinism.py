@@ -114,14 +114,14 @@ class TestResultOrderingDeterminism:
         result = MLPInferenceResult()
         for name in ("LINX", "AMS-IX", "DE-CIX"):
             inference = IXPInference(ixp_name=name)
-            inference.links = {(1, 2)}
+            inference.links = ((1, 2),)
             result.per_ixp[name] = inference
         assert result.ixp_names() == ["AMS-IX", "DE-CIX", "LINX"]
 
     def test_peer_counts_insertion_order_is_sorted(self):
         result = MLPInferenceResult()
         inference = IXPInference(ixp_name="DE-CIX")
-        inference.links = {(5, 9), (1, 9), (2, 3)}
+        inference.links = ((1, 9), (2, 3), (5, 9))
         result.per_ixp["DE-CIX"] = inference
         assert list(result.peer_counts()) == [1, 2, 3, 5, 9]
 

@@ -62,19 +62,19 @@ class TestEngineOnScenario:
     def test_precision_against_ground_truth(self, small_scenario, inference_result):
         """At least 98% of inferred links must exist (the paper validates
         98.4%); with ground truth available we check exact precision."""
-        inferred = inference_result.all_links()
+        inferred = set(inference_result.all_links())
         truth = small_scenario.ground_truth_links()
         assert inferred
         true_positives = inferred & truth
         assert len(true_positives) / len(inferred) >= 0.98
 
     def test_recall_is_substantial(self, small_scenario, inference_result):
-        inferred = inference_result.all_links()
+        inferred = set(inference_result.all_links())
         truth = small_scenario.ground_truth_links()
         assert len(inferred & truth) / len(truth) >= 0.6
 
     def test_most_links_invisible_in_public_bgp(self, small_scenario, inference_result):
-        inferred = inference_result.all_links()
+        inferred = set(inference_result.all_links())
         bgp = small_scenario.public_bgp_links()
         fraction_visible = len(inferred & bgp) / len(inferred)
         assert fraction_visible < 0.5
@@ -100,7 +100,16 @@ class TestEngineOnScenario:
     def test_reciprocity_ablation_monotone(self, small_scenario):
         strict = small_scenario.run_inference()
         loose = small_scenario.run_inference(require_reciprocity=False)
-        assert strict.all_links() <= loose.all_links()
+        assert set(strict.all_links()) <= set(loose.all_links())
+
+    def test_links_are_sorted_tuples(self, inference_result):
+        all_links = inference_result.all_links()
+        assert isinstance(all_links, tuple)
+        assert list(all_links) == sorted(set(all_links))
+        for inference in inference_result.per_ixp.values():
+            assert isinstance(inference.links, tuple)
+            assert list(inference.links) == sorted(set(inference.links))
+            assert all(a < b for a, b in inference.links)
 
     def test_multi_ixp_overlap_detected(self, inference_result):
         # Some ASes co-locate at several IXPs, so some links appear twice.

@@ -74,6 +74,74 @@ class TestPlanning:
         assert plan.total_cost(3) == 1 + 3 + plan.num_prefix_queries
 
 
+class TestEquation2EdgeCases:
+    """Edge cases of the equation-2 cost model: the 100-prefix cap,
+    members fully covered passively, and shared-prefix tie handling."""
+
+    def test_default_cap_limits_sampling_target(self):
+        announced = {1: [Prefix.from_octets(10, i // 256, i % 256, 0, 24)
+                         for i in range(2000)]}
+        model = QueryCostModel("DE-CIX", announced)   # defaults: 10%, cap 100
+        # ceil(2000 * 0.10) = 200, capped at 100.
+        assert model.sampling_target(1) == 100
+        plan = model.build_plan()
+        assert plan.targets[1] == 100
+        assert plan.num_prefix_queries == 100
+
+    def test_cap_not_reached_below_threshold(self):
+        announced = {1: [Prefix.from_octets(10, 0, i, 0, 24)
+                         for i in range(200)]}
+        model = QueryCostModel("DE-CIX", announced)
+        assert model.sampling_target(1) == 20      # 10% of 200, under the cap
+
+    def test_all_members_covered_passively_costs_one_query(self, model):
+        members = set(model.announced_prefixes)
+        plan = model.build_plan(skip_members=members)
+        assert plan.num_prefix_queries == 0
+        assert plan.targets == {} and plan.covered == {}
+        assert plan.skipped_members == members
+        # Equation 2 with ARS == ARS_passive: only the summary query is left.
+        assert plan.total_cost(0) == 1
+        breakdown = model.cost_breakdown(passive_members=members)
+        assert breakdown.with_passive == 1
+
+    def test_passive_prefix_coverage_eliminates_active_queries(self):
+        shared = prefixes("11.0.0.0/24")[0]
+        announced = {1: [shared], 2: [shared]}
+        model = QueryCostModel("X", announced, sample_fraction=1.0)
+        plan = model.build_plan(covered_prefixes={1: [shared], 2: [shared]})
+        # Every member's target is already met by passive data: zero
+        # active prefix queries, but the members are not "skipped".
+        assert plan.num_prefix_queries == 0
+        assert plan.covered == {1: 1, 2: 1}
+        assert plan.skipped_members == set()
+
+    def test_shared_prefix_tie_broken_deterministically(self):
+        low = Prefix.parse("10.0.0.0/24")
+        high = Prefix.parse("11.0.0.0/24")
+        # Both prefixes are announced by both members: equal multiplicity.
+        announced = {1: [high, low], 2: [low, high]}
+        model = QueryCostModel("X", announced, sample_fraction=0.5)
+        plan = model.build_plan()
+        # One query satisfies both members' single-prefix targets, and the
+        # tie between equally shared prefixes goes to the smaller prefix.
+        assert plan.prefix_queries == [low]
+        assert plan.covered == {1: 1, 2: 1}
+        for _ in range(3):
+            assert model.build_plan().prefix_queries == [low]
+
+    def test_tie_between_members_does_not_double_query(self):
+        shared = Prefix.parse("11.0.1.0/24")
+        own_1 = Prefix.parse("11.0.2.0/24")
+        own_2 = Prefix.parse("11.0.3.0/24")
+        announced = {1: [shared, own_1], 2: [shared, own_2]}
+        model = QueryCostModel("X", announced, sample_fraction=0.5)
+        plan = model.build_plan()
+        # The shared prefix (multiplicity 2) is preferred over either
+        # member-private prefix and queried exactly once.
+        assert plan.prefix_queries == [shared]
+
+
 class TestCostBreakdown:
     def test_ordering_of_strategies(self, model):
         breakdown = model.cost_breakdown(passive_members={1})

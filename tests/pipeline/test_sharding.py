@@ -1,0 +1,159 @@
+"""Sharded execution: snapshots, chunking, and single-process equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.propagation import OriginSpec
+from repro.pipeline import ArtifactCache, ScenarioRun
+from repro.pipeline.shard import chunked, resolve_workers, sharded_propagate
+from repro.runtime.snapshot import (
+    restore_context,
+    snapshot_context,
+    snapshot_sizes,
+)
+from repro.scenarios.workloads import large_scenario_config, small_scenario_config
+
+WORKERS = 4
+
+
+def _canonical_routes(propagation):
+    """Canonical content of a PropagationResult for equality checks."""
+    table = {}
+    for observer in propagation.observers():
+        for origin, route in propagation.iter_routes_at(observer):
+            table[(observer, origin)] = (
+                route.path, frozenset(route.communities), route.provenance,
+                route.learned_from)
+    return table
+
+
+class TestHelpers:
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(6) == 6
+        assert resolve_workers(-1) >= 1
+
+    def test_chunked_preserves_order_and_content(self):
+        items = list(range(17))
+        chunks = chunked(items, 5)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert all(chunks)
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+    def test_chunked_caps_at_item_count(self):
+        assert len(chunked([1, 2], 10)) == 2
+        assert chunked([], 3) == [[]]
+
+
+class TestSnapshot:
+    def test_roundtrip_preserves_index(self, small_scenario):
+        context = small_scenario.context
+        snapshot = snapshot_context(context)
+        restored = restore_context(snapshot)
+        assert restored.index.summary() == context.index.summary()
+        assert list(restored.index.node_asns) == list(context.index.node_asns)
+        for phase in ("customer_edges", "peer_edges", "provider_edges"):
+            assert getattr(restored.index, phase) == \
+                getattr(context.index, phase)
+        for bag_id in range(len(context.bags)):
+            assert restored.bags.value(bag_id) == context.bags.value(bag_id)
+
+    def test_restored_context_propagates_identically(self, small_scenario):
+        context = small_scenario.context
+        restored = restore_context(snapshot_context(context))
+        origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
+                   for node in small_scenario.graph.nodes()
+                   if node.prefixes][:25]
+        observers = {vp.asn for vp in small_scenario.vantage_points}
+        original = restored_result = None
+        for ctx in (context, restored):
+            engine = ctx.engine(record_at=observers)
+            outcome = _canonical_routes(engine.propagate(origins))
+            if original is None:
+                original = outcome
+            else:
+                restored_result = outcome
+        assert restored_result == original
+
+    def test_snapshot_sizes_reports_components(self, small_scenario):
+        sizes = snapshot_sizes(snapshot_context(small_scenario.context))
+        assert sizes["nodes"] == small_scenario.context.index.num_nodes
+        assert sizes["customer_phase_bytes"] > 0
+
+
+class TestShardedPropagation:
+    def test_matches_single_process(self, small_scenario):
+        context = small_scenario.context
+        origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
+                   for node in small_scenario.graph.nodes() if node.prefixes]
+        record_at = {vp.asn for vp in small_scenario.vantage_points}
+        alt_at = set(list(record_at)[:5])
+
+        single = sharded_propagate(context, origins, record_at, alt_at, None)
+        sharded = sharded_propagate(context, origins, record_at, alt_at,
+                                    WORKERS)
+        assert _canonical_routes(sharded) == _canonical_routes(single)
+        assert sharded.observers() == single.observers()
+        assert sharded.origins() == single.origins()
+        assert sharded.visible_links() == single.visible_links()
+        for observer in alt_at:
+            for origin in single.origins():
+                single_paths = [(r.path, frozenset(r.communities))
+                                for r in single.all_paths(observer, origin)]
+                sharded_paths = [(r.path, frozenset(r.communities))
+                                 for r in sharded.all_paths(observer, origin)]
+                assert sharded_paths == single_paths
+
+
+class TestEndToEndEquivalence:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        """A single-process and a sharded run over separate caches."""
+        single = ScenarioRun(small_scenario_config(), cache=ArtifactCache())
+        sharded = ScenarioRun(small_scenario_config(), cache=ArtifactCache(),
+                              workers=WORKERS)
+        return single, sharded
+
+    def test_link_sets_identical(self, runs):
+        single, sharded = runs
+        assert sharded.inference().all_links() == single.inference().all_links()
+        assert sharded.inference().links_by_ixp() == \
+            single.inference().links_by_ixp()
+
+    def test_table2_identical(self, runs):
+        single, sharded = runs
+        assert sharded.inference().table2() == single.inference().table2()
+        assert sharded.table2() == single.table2()
+
+    def test_scenario_substrates_identical(self, runs):
+        single, sharded = runs
+        assert sharded.scenario().public_bgp_links() == \
+            single.scenario().public_bgp_links()
+        assert sharded.scenario().archive.visible_as_links() == \
+            single.scenario().archive.visible_as_links()
+
+    def test_analyses_identical(self, runs):
+        single, sharded = runs
+        assert sharded.analyses() == single.analyses()
+
+
+class TestLargeScenarioAcceptance:
+    """The acceptance run: sharded (>= 4 workers) large_scenario_config
+    end-to-end inference produces identical link sets and Table 2 rows
+    to the single-process run."""
+
+    def test_large_sharded_end_to_end_matches(self):
+        single = ScenarioRun(large_scenario_config(), cache=ArtifactCache())
+        sharded = ScenarioRun(large_scenario_config(), cache=ArtifactCache(),
+                              workers=WORKERS)
+        single_result = single.inference()
+        sharded_result = sharded.inference()
+        assert sharded_result.all_links() == single_result.all_links()
+        assert sharded_result.links_by_ixp() == single_result.links_by_ixp()
+        assert sharded_result.table2() == single_result.table2()
+        assert [inference.active_queries
+                for inference in sharded_result.per_ixp.values()] == \
+            [inference.active_queries
+             for inference in single_result.per_ixp.values()]

@@ -54,7 +54,7 @@ class TestEndToEndNumbers:
         * the inferred set is several times larger than the p2p links
           visible in BGP paths (paper: 209% more peering links).
         """
-        inferred = inference_result.all_links()
+        inferred = set(inference_result.all_links())
         truth = small_scenario.ground_truth_links()
         bgp = small_scenario.public_bgp_links()
 
