@@ -11,18 +11,15 @@ from __future__ import annotations
 import pytest
 
 from repro.pipeline import ArtifactCache, ScenarioRun
-from repro.scenarios.europe2013 import ScenarioConfig
-from repro.topology.generator import GeneratorConfig
+from repro.scenarios.base import ScenarioConfig
+from repro.scenarios.spec import get_scenario
 
 
 def benchmark_scenario_config(seed: int = 20130501) -> ScenarioConfig:
-    """The scenario used by the benchmark suite (between small and medium)."""
-    return ScenarioConfig(
-        generator=GeneratorConfig(seed=seed, scale=0.18, ixp_member_scale=0.16),
-        seed=seed + 1,
-        num_validation_lgs=40,
-        num_traceroute_monitors=15,
-    )
+    """The scenario used by the benchmark suite: the registry's
+    ``europe2013`` family at the ``bench`` size (between small and
+    medium)."""
+    return get_scenario("europe2013").config("bench", seed)
 
 
 @pytest.fixture(scope="session")

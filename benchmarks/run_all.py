@@ -93,6 +93,48 @@ def run_bench(path: Path, timeout: float) -> dict:
     }
 
 
+def run_scenario_matrix(size: str = "tiny") -> list[dict]:
+    """Run every registered scenario end-to-end at *size*, in-process.
+
+    One row per scenario lands in the trajectory JSON (name, wall time,
+    inferred links, IXP count), so per-scenario build+inference cost is
+    trackable across PRs just like the bench modules.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.pipeline import ArtifactCache
+    from repro.scenarios import scenario_names
+    from repro.scenarios.workloads import scenario_run
+
+    rows: list[dict] = []
+    for name in scenario_names():
+        print(f"[run_all] scenario {name} ({size}) ...", flush=True)
+        started = time.monotonic()
+        try:
+            run = scenario_run(size, scenario=name, cache=ArtifactCache())
+            result = run.inference()
+            row = {
+                "scenario": name,
+                "size": size,
+                "ok": True,
+                "wall_seconds": round(time.monotonic() - started, 3),
+                "links": len(result.all_links()),
+                "ixps": len(result.per_ixp),
+            }
+        except Exception as error:  # keep the trajectory for the rest
+            row = {
+                "scenario": name,
+                "size": size,
+                "ok": False,
+                "wall_seconds": round(time.monotonic() - started, 3),
+                "error": f"{type(error).__name__}: {error}",
+            }
+        status = (f"{row.get('links', '?')} links" if row["ok"]
+                  else f"FAIL ({row['error']})")
+        print(f"[run_all]   {status} in {row['wall_seconds']}s", flush=True)
+        rows.append(row)
+    return rows
+
+
 def find_previous_trajectory(exclude: Path) -> Path | None:
     """The most recent prior ``BENCH_<ISO date>.json`` (by dated name).
 
@@ -160,6 +202,10 @@ def main() -> int:
                         help="output JSON path (default BENCH_<date>.json)")
     parser.add_argument("--timeout", type=float, default=900.0,
                         help="per-bench timeout in seconds")
+    parser.add_argument("--skip-scenario-matrix", action="store_true",
+                        help="do not run the per-scenario tiny matrix")
+    parser.add_argument("--matrix-size", default="tiny",
+                        help="size-table row for the scenario matrix")
     args = parser.parse_args()
 
     benches = discover_benches(args.filters)
@@ -176,6 +222,10 @@ def main() -> int:
               f"(max rss {record['max_rss_kb']} kB)", flush=True)
         results.append(record)
 
+    scenario_rows: list[dict] = []
+    if not args.skip_scenario_matrix:
+        scenario_rows = run_scenario_matrix(args.matrix_size)
+
     today = datetime.date.today().isoformat()
     out_path = args.out or (REPO_ROOT / f"BENCH_{today}.json")
     previous_path = find_previous_trajectory(exclude=out_path)
@@ -184,6 +234,7 @@ def main() -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "benches": results,
+        "scenarios": scenario_rows,
     }
     out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"[run_all] wrote {out_path}")
@@ -195,6 +246,8 @@ def main() -> int:
         print("[run_all] no previous trajectory to compare against")
 
     if any(r["returncode"] != 0 for r in results):
+        return 1
+    if any(not row["ok"] for row in scenario_rows):
         return 1
     return 3 if warnings else 0
 

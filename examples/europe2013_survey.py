@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
-"""Reproduce the paper's measurement survey on the synthetic ecosystem.
+"""Back-compat shim: the Europe-2013 survey via the generic runner.
 
-Builds the "13 European IXPs, May 2013" scenario, runs the full passive +
-active inference pipeline and prints the Table 2 rows, the visibility
-headline numbers (figure 6) and the validation summary (Table 3).
+The survey is now scenario-agnostic — see ``examples/survey.py`` (this
+wrapper forwards to it with ``--scenario europe2013``).
 
 Run with:  python examples/europe2013_survey.py [--scale SMALL|MEDIUM]
 """
 
 import argparse
+import importlib.util
+from pathlib import Path
 
-from repro.analysis.visibility import VisibilityAnalysis
-from repro.core.validation import LinkValidator
-from repro.scenarios.europe2013 import build_europe2013
-from repro.scenarios.workloads import medium_scenario_config, small_scenario_config
+# The survey module is a sibling script, not an installed package;
+# load it by path so the shim works under every invocation style.
+_spec = importlib.util.spec_from_file_location(
+    "_repro_example_survey", Path(__file__).with_name("survey.py"))
+_survey = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_survey)
+run_survey = _survey.run_survey
 
 
 def main() -> None:
@@ -21,44 +25,7 @@ def main() -> None:
     parser.add_argument("--scale", choices=["small", "medium"], default="small",
                         help="size of the synthetic ecosystem")
     args = parser.parse_args()
-
-    config = small_scenario_config() if args.scale == "small" \
-        else medium_scenario_config()
-    print(f"building the europe-2013 scenario ({args.scale}) ...")
-    scenario = build_europe2013(config)
-    print(f"  {len(scenario.graph)} ASes, "
-          f"{len(scenario.ground_truth_links())} ground-truth MLP pairs")
-
-    print("running passive + active inference ...")
-    result = scenario.run_inference()
-
-    ixp_ases = {name: len(ixp.members) for name, ixp in scenario.ixps.items()}
-    ixp_lg = {spec.name: spec.has_rs_lg for spec in scenario.internet.ixp_specs}
-    print("\nTable 2 — inference results per IXP")
-    print(f"  {'IXP':<10} {'LG':>3} {'ASes':>6} {'RS':>5} {'Pasv':>6} "
-          f"{'Active':>7} {'Links':>8}")
-    for row in result.table2(ixp_ases=ixp_ases, ixp_has_lg=ixp_lg):
-        print(f"  {row['IXP']:<10} {row['LG']:>3} {row['ASes']:>6} {row['RS']:>5} "
-              f"{row['Pasv']:>6} {row['Active']:>7} {row['Links']:>8}")
-
-    inferred = set(result.all_links())
-    truth = scenario.ground_truth_links()
-    visibility = VisibilityAnalysis(
-        inferred, scenario.public_bgp_links(), scenario.traceroute_links())
-    print("\nheadline numbers")
-    print(f"  inferred MLP links:        {len(inferred)}")
-    print(f"  precision vs ground truth: {len(inferred & truth) / len(inferred):.3f}")
-    print(f"  invisible in public BGP:   {visibility.report.fraction_invisible:.1%}"
-          f"  (paper: 88%)")
-
-    print("\nvalidating a sample of links against the public looking glasses ...")
-    sample = sorted(inferred)[: min(3000, len(inferred))]
-    validator = LinkValidator(scenario.validation_lgs,
-                              scenario.origin_prefixes(),
-                              geolocation=scenario.geolocation)
-    report = validator.validate(sample)
-    print(f"  tested {report.num_tested} links, confirmed "
-          f"{report.num_confirmed} ({report.confirmation_rate:.1%}; paper: 98.4%)")
+    run_survey("europe2013", args.scale)
 
 
 if __name__ == "__main__":

@@ -6,18 +6,25 @@ only inputs are the archived Route Views / RIPE RIS style table dumps of
 the scenario.  Shows how many RS members (and links) each IXP yields from
 passive data alone, and how the RS setter is pin-pointed.
 
-Run with:  python examples/passive_discovery.py
+Run with:  python examples/passive_discovery.py [--scenario NAME] [--size SIZE]
 """
 
+import argparse
 from collections import Counter
 
 from repro.core.passive import PassiveInference
-from repro.scenarios.europe2013 import build_europe2013
-from repro.scenarios.workloads import small_scenario_config
+from repro.scenarios.workloads import scenario_run
 
 
 def main() -> None:
-    scenario = build_europe2013(small_scenario_config())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="europe2013",
+                        help="registered scenario family")
+    parser.add_argument("--size", default="small",
+                        help="size-table row (tiny/small/bench/medium/large/full)")
+    args = parser.parse_args()
+
+    scenario = scenario_run(args.size, scenario=args.scenario).scenario()
     entries = scenario.archive.clean_stable_entries()
     print(f"archived RIB entries after cleaning: {len(entries)}")
 

@@ -7,20 +7,29 @@ policy (figure 9), multi-IXP behaviour (figure 10), export openness
 (figure 11), peering density (figure 12) and the repeller analysis
 (figure 13).
 
-Run with:  python examples/peering_policy_report.py
+Run with:  python examples/peering_policy_report.py [--scenario NAME] [--size SIZE]
 """
+
+import argparse
 
 from repro.analysis.density import density_per_ixp
 from repro.analysis.policies import PolicyAnalysis
 from repro.analysis.repellers import RepellerAnalysis
-from repro.scenarios.europe2013 import build_europe2013
-from repro.scenarios.workloads import small_scenario_config
+from repro.scenarios.workloads import scenario_run
 from repro.topology.customer_cone import customer_cone
 
 
 def main() -> None:
-    scenario = build_europe2013(small_scenario_config())
-    result = scenario.run_inference()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="europe2013",
+                        help="registered scenario family")
+    parser.add_argument("--size", default="small",
+                        help="size-table row (tiny/small/bench/medium/large/full)")
+    args = parser.parse_args()
+
+    run = scenario_run(args.size, scenario=args.scenario)
+    scenario = run.scenario()
+    result = run.inference()
     graph = scenario.graph
     analysis = PolicyAnalysis(graph, scenario.peeringdb)
 

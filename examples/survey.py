@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's measurement survey on any registered scenario.
+
+Builds the requested scenario through the staged pipeline, runs the full
+passive + active inference and prints the Table 2 rows, the visibility
+headline numbers (figure 6) and the validation summary (Table 3).
+
+Run with:  python examples/survey.py [--scenario NAME] [--size SIZE]
+           python examples/survey.py --list
+
+Any family registered in the scenario registry works; `--list` shows
+what is available.
+"""
+
+import argparse
+
+from repro.analysis.visibility import VisibilityAnalysis
+from repro.core.validation import LinkValidator
+from repro.scenarios import get_scenario, scenario_names
+from repro.scenarios.workloads import scenario_run
+
+
+def run_survey(scenario_name: str, size: str, workers=None) -> None:
+    """Build one scenario, run inference, print the survey tables."""
+    spec = get_scenario(scenario_name)
+    print(f"building the {spec.name} scenario ({size}) ...")
+    if spec.description:
+        print(f"  {spec.description}")
+    run = scenario_run(size, scenario=scenario_name, workers=workers)
+    scenario = run.scenario()
+    print(f"  {len(scenario.graph)} ASes, "
+          f"{len(scenario.ground_truth_links())} ground-truth MLP pairs")
+
+    print("running passive + active inference ...")
+    result = run.inference()
+
+    ixp_ases = {name: len(ixp.members) for name, ixp in scenario.ixps.items()}
+    ixp_lg = {s.name: s.has_rs_lg for s in scenario.internet.ixp_specs}
+    print("\nTable 2 — inference results per IXP")
+    print(f"  {'IXP':<12} {'LG':>3} {'ASes':>6} {'RS':>5} {'Pasv':>6} "
+          f"{'Active':>7} {'Links':>8}")
+    for row in result.table2(ixp_ases=ixp_ases, ixp_has_lg=ixp_lg):
+        print(f"  {row['IXP']:<12} {row['LG']:>3} {row['ASes']:>6} "
+              f"{row['RS']:>5} {row['Pasv']:>6} {row['Active']:>7} "
+              f"{row['Links']:>8}")
+
+    inferred = set(result.all_links())
+    truth = scenario.ground_truth_links()
+    visibility = VisibilityAnalysis(
+        inferred, scenario.public_bgp_links(), scenario.traceroute_links())
+    print("\nheadline numbers")
+    print(f"  inferred MLP links:        {len(inferred)}")
+    if inferred:
+        print(f"  precision vs ground truth: "
+              f"{len(inferred & truth) / len(inferred):.3f}")
+    print(f"  invisible in public BGP:   {visibility.report.fraction_invisible:.1%}"
+          f"  (paper: 88%)")
+
+    print("\nvalidating a sample of links against the public looking glasses ...")
+    sample = sorted(inferred)[: min(3000, len(inferred))]
+    validator = LinkValidator(scenario.validation_lgs,
+                              scenario.origin_prefixes(),
+                              geolocation=scenario.geolocation)
+    report = validator.validate(sample)
+    print(f"  tested {report.num_tested} links, confirmed "
+          f"{report.num_confirmed} ({report.confirmation_rate:.1%}; paper: 98.4%)")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="europe2013",
+                        help="registered scenario family (see --list)")
+    parser.add_argument("--size", default="small",
+                        help="size-table row (tiny/small/bench/medium/large/full)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the parallel stages across N processes")
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered scenarios and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in scenario_names():
+            spec = get_scenario(name)
+            sizes = ", ".join(spec.size_names())
+            print(f"{name:<20} {spec.description}")
+            print(f"{'':<20} sizes: {sizes}")
+        return
+
+    run_survey(args.scenario, args.size, workers=args.workers)
+
+
+if __name__ == "__main__":
+    main()

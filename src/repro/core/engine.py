@@ -69,9 +69,11 @@ class IXPInference:
         """Number of MLP links inferred at this IXP."""
         return len(self.links)
 
-    def covered_members(self) -> Set[int]:
-        """Members with a reconstructed reachability."""
-        return set(self.reachabilities)
+    def covered_members(self) -> Tuple[int, ...]:
+        """Members with a reconstructed reachability, in ascending ASN
+        order (a stable tuple, never a set — consumers must not depend
+        on set iteration order)."""
+        return tuple(sorted(self.reachabilities))
 
     def table2_row(self, num_ixp_ases: Optional[int] = None,
                    has_lg: Optional[bool] = None) -> Dict[str, object]:
@@ -124,12 +126,12 @@ class MLPInferenceResult:
                 seen[link] = seen.get(link, 0) + 1
         return tuple(sorted(link for link, count in seen.items() if count > 1))
 
-    def all_member_asns(self) -> Set[int]:
-        """Every ASN involved in at least one inferred link."""
+    def all_member_asns(self) -> Tuple[int, ...]:
+        """Every ASN involved in at least one inferred link, ascending."""
         asns: Set[int] = set()
         for link in self.all_links():
             asns.update(link)
-        return asns
+        return tuple(sorted(asns))
 
     def total_links(self) -> int:
         """Sum of per-IXP link counts (larger than the de-duplicated count)."""

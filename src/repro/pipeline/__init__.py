@@ -9,9 +9,10 @@ declarative stage graph:
 * :class:`ArtifactCache` (``cache.py``) — memory + optional on-disk
   artifact store keyed by fingerprint, so re-running a scenario with one
   changed knob only recomputes the stages downstream of the change;
-* :class:`ScenarioRun` (``run.py``) — binds a
-  :class:`~repro.scenarios.europe2013.ScenarioConfig` to the europe2013
-  stage graph and executes stages on demand;
+* :class:`ScenarioRun` (``run.py``) — binds any registered
+  :class:`~repro.scenarios.spec.ScenarioSpec` (by name or object, with
+  its :class:`~repro.scenarios.base.ScenarioConfig`) to the spec's
+  declared stage graph and executes stages on demand;
 * ``shard.py`` — multi-process execution of the per-origin propagation
   sweep with worker contexts rebuilt from compact
   :mod:`repro.runtime.snapshot` captures;

@@ -1,18 +1,30 @@
-"""`ScenarioRun`: execute the europe2013 stage graph with artifact caching.
+"""`ScenarioRun`: execute a registered scenario's stage graph with caching.
 
-A :class:`ScenarioRun` binds a :class:`ScenarioConfig` (plus inference/
-analysis option namespaces) to the declarative stage graph and executes
-stages on demand::
+A :class:`ScenarioRun` binds a scenario — any
+:class:`~repro.scenarios.spec.ScenarioSpec` from the registry, by name
+or by object — plus a :class:`~repro.scenarios.base.ScenarioConfig`
+(and inference/analysis option namespaces) to the spec's declared stage
+graph and executes stages on demand::
 
-    run = ScenarioRun(small_scenario_config())
+    run = ScenarioRun(scenario="europe2013",
+                      config=small_scenario_config())
     scenario = run.scenario()        # builds topology..scenario stages
     result = run.inference()         # + connectivity + inference
     figures = run.analyses()         # + per-figure summaries
 
+The scenario defaults to ``europe2013`` (the historical behaviour); the
+config defaults to the spec's default size.  Passing a registered name
+is the canonical way to run any family::
+
+    ScenarioRun(scenario="hypergiant2016",
+                config=get_scenario("hypergiant2016").config("small"))
+
 Artifacts live in an :class:`~repro.pipeline.cache.ArtifactCache` keyed
-by stage fingerprint.  Sharing one cache across runs makes warm re-runs
-skip every stage whose fingerprint is unchanged — re-running with only
-an analysis knob changed recomputes *only* the analyses stage::
+by stage fingerprint (salted with the scenario name, so two families
+with coincidentally equal configs never share artifacts).  Sharing one
+cache across runs makes warm re-runs skip every stage whose fingerprint
+is unchanged — re-running with only an analysis knob changed recomputes
+*only* the analyses stage::
 
     cache = ArtifactCache()
     ScenarioRun(cfg, cache=cache).analyses()
@@ -31,15 +43,17 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Any, Dict, List, NamedTuple, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, NamedTuple, Optional, Union
 
-from repro.pipeline.analyses import AnalysisOptions, run_analyses
+from repro.pipeline.analyses import AnalysisOptions
 from repro.pipeline.cache import STATUS_COMPUTED, ArtifactCache
-from repro.pipeline.stage import Stage, StageGraph
-from repro.scenarios import europe2013 as e13
-from repro.scenarios.europe2013 import Scenario, ScenarioConfig
+from repro.pipeline.stage import StageGraph
 
 from dataclasses import dataclass
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids a cycle)
+    from repro.scenarios.base import Scenario, ScenarioConfig
+    from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -60,115 +74,33 @@ class StageEvent(NamedTuple):
     fingerprint: str
 
 
-# -- stage bodies --------------------------------------------------------------
-
-def _run_inference(run: "ScenarioRun"):
-    scenario: Scenario = run.artifact("scenario")
-    connectivity = run.artifact("connectivity")
-    options = run.inference_options
-    engine = scenario.make_engine(connectivity=connectivity)
-    passive_entries = scenario.archive.clean_stable_entries() \
-        if options.use_passive else None
-    rs_lgs = scenario.rs_looking_glasses if options.use_active else {}
-    third_party = scenario.third_party_lgs if options.use_active else {}
-    return engine.run(
-        passive_entries=passive_entries,
-        rs_looking_glasses=rs_lgs,
-        third_party_lgs=third_party,
-        require_reciprocity=options.require_reciprocity,
-        workers=run.workers,
-    )
-
-
 def europe2013_stage_graph() -> StageGraph:
-    """The declarative stage graph of the Europe-2013 scenario pipeline."""
-    return StageGraph([
-        Stage(
-            "topology",
-            fn=lambda run: e13.stage_topology(run.config),
-            config_keys=("generator",),
-            persist=True,
-        ),
-        Stage(
-            "ixps",
-            fn=lambda run: e13.stage_ixps(
-                run.config, run.artifact("topology")),
-            deps=("topology",),
-            config_keys=("seed", "cone_prefix_fraction",
-                         "inconsistent_member_fraction"),
-        ),
-        Stage(
-            "propagation",
-            fn=lambda run: e13.stage_propagation(
-                run.config, run.artifact("topology"), run.artifact("ixps"),
-                workers=run.workers),
-            deps=("topology", "ixps"),
-            config_keys=("vantage_point_fraction", "full_feed_fraction",
-                         "third_party_lgs_per_ixp", "num_traceroute_monitors",
-                         "num_validation_lgs"),
-            persist=True,
-        ),
-        Stage(
-            "collectors",
-            fn=lambda run: e13.stage_collectors(
-                run.config, run.artifact("propagation")),
-            deps=("propagation",),
-            config_keys=("seed", "window", "transient_fraction"),
-        ),
-        Stage(
-            "viewpoints",
-            fn=lambda run: e13.stage_viewpoints(
-                run.config, run.artifact("topology"), run.artifact("ixps"),
-                run.artifact("propagation")),
-            deps=("topology", "ixps", "propagation"),
-            config_keys=("all_paths_lg_fraction",),
-        ),
-        Stage(
-            "registries",
-            fn=lambda run: e13.stage_registries(
-                run.config, run.artifact("topology"),
-                run.artifact("viewpoints")),
-            deps=("topology", "viewpoints"),
-        ),
-        Stage(
-            "scenario",
-            fn=lambda run: e13.stage_scenario(
-                run.config, run.artifact("topology"), run.artifact("ixps"),
-                run.artifact("propagation"), run.artifact("collectors"),
-                run.artifact("viewpoints"), run.artifact("registries")),
-            deps=("topology", "ixps", "propagation", "collectors",
-                  "viewpoints", "registries"),
-        ),
-        Stage(
-            "connectivity",
-            fn=lambda run: run.artifact("scenario").discover_connectivity(),
-            deps=("scenario",),
-        ),
-        Stage(
-            "inference",
-            fn=_run_inference,
-            deps=("scenario", "connectivity"),
-            options_key="inference",
-            persist=True,
-        ),
-        Stage(
-            "analyses",
-            fn=lambda run: run_analyses(
-                run.artifact("scenario"), run.artifact("inference"),
-                options=run.analysis_options, workers=run.workers),
-            deps=("scenario", "inference"),
-            options_key="analysis",
-        ),
-    ])
+    """The stage graph of the registered Europe-2013 scenario
+    (back-compat alias for ``get_scenario("europe2013").stage_graph()``)."""
+    from repro.scenarios.spec import get_scenario
+    return get_scenario("europe2013").stage_graph()
+
+
+def _resolve_spec(scenario: Union[str, "ScenarioSpec", None]) -> "ScenarioSpec":
+    from repro.scenarios.spec import ScenarioSpec, get_scenario
+    if scenario is None:
+        return get_scenario("europe2013")
+    if isinstance(scenario, str):
+        return get_scenario(scenario)
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    raise TypeError(f"scenario must be a name or ScenarioSpec, "
+                    f"got {type(scenario).__name__}")
 
 
 class ScenarioRun:
-    """Execute the scenario pipeline against an artifact cache."""
+    """Execute one scenario's pipeline against an artifact cache."""
 
     def __init__(
         self,
-        config: Optional[ScenarioConfig] = None,
+        config: Optional["ScenarioConfig"] = None,
         *,
+        scenario: Union[str, "ScenarioSpec", None] = None,
         inference_options: Optional[InferenceOptions] = None,
         analysis_options: Optional[AnalysisOptions] = None,
         workers: Optional[int] = None,
@@ -176,13 +108,15 @@ class ScenarioRun:
         cache_dir: Optional[Union[str, Path]] = None,
         graph: Optional[StageGraph] = None,
     ) -> None:
-        self.config = config or ScenarioConfig()
+        self.spec = _resolve_spec(scenario)
+        self.config = config if config is not None else self.spec.config()
         self.inference_options = inference_options or InferenceOptions()
-        self.analysis_options = analysis_options or AnalysisOptions()
+        self.analysis_options = analysis_options or AnalysisOptions(
+            figures=self.spec.analyses)
         self.workers = workers
         self.cache = cache if cache is not None else ArtifactCache(
             Path(cache_dir) if cache_dir is not None else None)
-        self.graph = graph or europe2013_stage_graph()
+        self.graph = graph or self.spec.stage_graph()
         #: stage -> artifact resolved by *this* run (one entry per stage).
         self._resolved: Dict[str, Any] = {}
         #: one event per stage resolved by this run, in resolution order.
@@ -192,7 +126,7 @@ class ScenarioRun:
     # -- fingerprints ---------------------------------------------------------
 
     def fingerprints(self) -> Dict[str, str]:
-        """Fingerprint of every stage under this run's config/options."""
+        """Fingerprint of every stage under this run's scenario/config."""
         if self._fingerprints is None:
             config_keys = {key for name in self.graph.names()
                            for key in self.graph.stage(name).config_keys}
@@ -203,7 +137,7 @@ class ScenarioRun:
                 "analysis": repr(self.analysis_options),
             }
             self._fingerprints = self.graph.fingerprints(
-                config_repr, options_repr)
+                config_repr, options_repr, salt=self.spec.name)
         return self._fingerprints
 
     def fingerprint(self, stage_name: str) -> str:
@@ -237,7 +171,7 @@ class ScenarioRun:
 
     # -- convenience accessors ------------------------------------------------
 
-    def scenario(self) -> Scenario:
+    def scenario(self) -> "Scenario":
         """The assembled measurement environment."""
         return self.artifact("scenario")
 
@@ -277,4 +211,5 @@ class ScenarioRun:
 
     def __repr__(self) -> str:
         resolved = ", ".join(f"{e.stage}:{e.status}" for e in self.events)
-        return f"ScenarioRun({resolved or 'nothing resolved'})"
+        return (f"ScenarioRun({self.spec.name}: "
+                f"{resolved or 'nothing resolved'})")

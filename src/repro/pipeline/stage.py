@@ -121,14 +121,18 @@ class StageGraph:
         self,
         config_repr: Mapping[str, str],
         options_repr: Mapping[str, str],
+        salt: str = "",
     ) -> Dict[str, str]:
         """Fingerprint every stage.
 
         ``config_repr`` maps every config key referenced by any stage to
         a deterministic string form; ``options_repr`` does the same per
-        options namespace.  Execution details (worker counts, cache
-        placement) are deliberately absent: sharded and single-process
-        runs share fingerprints because they produce identical artifacts.
+        options namespace; ``salt`` namespaces the whole graph (the
+        scenario name, so families with coincidentally equal configs
+        never collide in a shared artifact cache).  Execution details
+        (worker counts, cache placement) are deliberately absent:
+        sharded and single-process runs share fingerprints because they
+        produce identical artifacts.
         """
         result: Dict[str, str] = {}
         for name in self._order:
@@ -136,6 +140,7 @@ class StageGraph:
             payload = {
                 "stage": stage.name,
                 "version": stage.version,
+                "salt": salt,
                 "config": {key: config_repr[key] for key in stage.config_keys},
                 "options": options_repr.get(stage.options_key)
                 if stage.options_key else None,

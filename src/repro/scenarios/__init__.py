@@ -1,24 +1,67 @@
-"""Ready-made synthetic ecosystems.
+"""Ready-made synthetic ecosystems, declaratively specified.
 
-:func:`repro.scenarios.europe2013.build_europe2013` assembles the full
-"13 European IXPs, May 2013" measurement scenario: synthetic Internet,
-route servers with community-tagged announcements, collectors, looking
-glasses, registries, geolocation and traceroute substrates — everything
-the inference engine and the evaluation analyses consume.
+The scenario layer is split into:
+
+* :mod:`repro.scenarios.base` — scenario-generic assembly: the
+  :class:`ScenarioConfig` knobs, the assembled :class:`Scenario`
+  environment, the stage bodies and the declarative stage library;
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` (topology phases,
+  IXP roster + community-scheme assignment, measurement surface,
+  analysis suite, size table) and the :class:`ScenarioRegistry`;
+* :mod:`repro.scenarios.families` — the registered built-ins:
+  ``europe2013`` (the paper's Table 2 measurement), ``hypergiant2016``,
+  ``sparse-view`` and the ``growth-sweep-<year>`` ladder;
+* :mod:`repro.scenarios.workloads` — named (scenario, size) entry
+  points for tests, examples, benchmarks and the CI smoke matrix;
+* :mod:`repro.scenarios.europe2013` — the historical import surface,
+  re-exporting :func:`build_europe2013` and friends.
+
+``get_scenario("<name>")`` is the one lookup everything goes through;
+registering a new :class:`ScenarioSpec` makes the family available to
+every consumer at once.
 """
 
-from repro.scenarios.europe2013 import Scenario, ScenarioConfig, build_europe2013
+from repro.scenarios.base import Scenario, ScenarioConfig
+from repro.scenarios.europe2013 import build_europe2013
+from repro.scenarios.spec import (
+    DEFAULT_SIZES,
+    REGISTRY,
+    ScenarioRegistry,
+    ScenarioSpec,
+    SizeProfile,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.scenarios.workloads import (
+    scenario_config,
+    scenario_matrix,
+    scenario_run,
     small_scenario_config,
     medium_scenario_config,
     large_scenario_config,
+    workload_sizes,
 )
 
 __all__ = [
+    "DEFAULT_SIZES",
+    "REGISTRY",
     "Scenario",
     "ScenarioConfig",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "SizeProfile",
+    "all_scenarios",
     "build_europe2013",
-    "small_scenario_config",
-    "medium_scenario_config",
+    "get_scenario",
     "large_scenario_config",
+    "medium_scenario_config",
+    "register_scenario",
+    "scenario_config",
+    "scenario_matrix",
+    "scenario_names",
+    "scenario_run",
+    "small_scenario_config",
+    "workload_sizes",
 ]

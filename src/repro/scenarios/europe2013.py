@@ -1,707 +1,64 @@
-"""The "13 large European IXPs, May 2013" scenario.
+"""The "13 large European IXPs, May 2013" scenario (back-compat surface).
 
-This module assembles the complete measurement environment of the paper
-from the synthetic Internet generator:
+Historically this module *was* the scenario layer: the Europe-2013
+measurement environment was hardwired into the stage functions defined
+here.  The machinery now lives in scenario-generic modules —
 
-* one :class:`~repro.ixp.ixp.IXP` (with a route server and community
-  scheme) per Table 2 entry, populated with member announcements whose
-  communities encode the generated ground-truth export intents;
-* a valley-free propagation run that delivers AS paths and transitive
-  communities to collector vantage points, looking-glass hosts and
-  traceroute monitors;
-* Route Views / RIPE RIS style collectors and their archives;
-* route-server looking glasses (for the IXPs that provide one),
-  third-party member looking glasses (for the rest), and ~70 validation
-  looking glasses registered in the PeeringDB substrate;
-* IRR objects (as-sets, aut-num import/export filters for the AMS-IX
-  reciprocity check and the LINX membership search) and PeeringDB
-  records;
-* geolocation entries and an Ark/DIMES-style traceroute campaign.
+* :mod:`repro.scenarios.base` — :class:`ScenarioConfig`,
+  :class:`Scenario`, the stage bodies and the declarative stage library;
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` and the registry;
+* :mod:`repro.scenarios.families` — the registered families, including
+  ``europe2013`` itself (the paper's Table 2 roster with Table 1
+  community grammars);
 
-The resulting :class:`Scenario` exposes convenience methods to build the
-inference engine, run the full inference, and compute ground-truth and
-public-view link sets for the evaluation analyses.
+— and this module re-exports the historical names so existing imports
+(`ScenarioConfig`, `Scenario`, `build_europe2013`, the ``stage_*``
+functions) keep working unchanged.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Optional
 
-from repro.bgp.asn import Private16BitMapper
-from repro.bgp.communities import Community
-from repro.bgp.prefix import Prefix
-from repro.bgp.policy import Relationship
-from repro.bgp.propagation import OriginSpec, PropagationResult
-from repro.collectors.archive import CollectorArchive, MeasurementWindow
-from repro.collectors.route_collector import RouteCollector
-from repro.collectors.vantage_point import FeedType, VantagePoint
-from repro.core.connectivity import ConnectivityDiscovery, ConnectivityReport
-from repro.core.engine import MLPInferenceEngine, MLPInferenceResult
-from repro.ixp.community_schemes import CommunityScheme, SchemeRegistry
-from repro.ixp.ixp import IXP
-from repro.ixp.looking_glass import ASLookingGlass, LGRoute, RouteServerLookingGlass
-from repro.ixp.member import MemberExportPolicy
-from repro.ixp.route_server import RouteServer
-from repro.measurement.geolocation import GeolocationDB
-from repro.measurement.traceroute import TracerouteCampaign, TracerouteConfig
-from repro.registries.irr import ASSet, AutNumPolicy, IRRDatabase
-from repro.registries.peeringdb import PeeringDB, PeeringDBRecord
-from repro.runtime.context import PipelineContext
-from repro.topology.as_graph import ASGraph, ASType, PeeringPolicy
-from repro.topology.customer_cone import customer_cone
-from repro.topology.generator import (
-    GeneratedInternet,
-    GeneratorConfig,
-    InternetGenerator,
-    IXPSpec,
-    MODE_ALL_EXCEPT,
+from repro.scenarios.base import (  # noqa: F401  (re-exported API)
+    Scenario,
+    ScenarioConfig,
+    _as_set_name,
+    stage_collectors,
+    stage_ixps,
+    stage_propagation,
+    stage_registries,
+    stage_scenario,
+    stage_topology,
+    stage_viewpoints,
 )
 
-
-@dataclass
-class ScenarioConfig:
-    """Knobs of the full scenario on top of the generator configuration."""
-
-    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
-    seed: int = 20130507
-
-    #: Fraction of ASes feeding a route collector.
-    vantage_point_fraction: float = 0.08
-    #: Fraction of vantage points providing a full (non-peer-like) feed.
-    full_feed_fraction: float = 0.33
-    #: Number of validation looking glasses registered in PeeringDB.
-    num_validation_lgs: int = 70
-    #: Fraction of validation LGs that display all paths (vs best only).
-    all_paths_lg_fraction: float = 0.6
-    #: Number of third-party member LGs per IXP without a route-server LG.
-    third_party_lgs_per_ixp: int = 2
-    #: Number of traceroute monitor ASes.
-    num_traceroute_monitors: int = 25
-    #: Fraction of transient (single-day) entries injected in the archive.
-    transient_fraction: float = 0.01
-    #: Fraction of a member's customer-cone prefixes announced to the RS.
-    cone_prefix_fraction: float = 0.4
-    #: Fraction of (consistent) members given a deviating per-prefix policy.
-    inconsistent_member_fraction: float = 0.004
-    #: Measurement window (1-7 May 2013 equivalent).
-    window: MeasurementWindow = field(default_factory=MeasurementWindow)
-
-
-@dataclass
-class Scenario:
-    """The assembled measurement environment."""
-
-    config: ScenarioConfig
-    internet: GeneratedInternet
-    graph: ASGraph
-    schemes: SchemeRegistry
-    ixps: Dict[str, IXP]
-    route_servers: Dict[str, RouteServer]
-    rs_looking_glasses: Dict[str, RouteServerLookingGlass]
-    third_party_lgs: Dict[str, List[ASLookingGlass]]
-    collectors: List[RouteCollector]
-    archive: CollectorArchive
-    propagation: PropagationResult
-    irr: IRRDatabase
-    peeringdb: PeeringDB
-    geolocation: GeolocationDB
-    validation_lgs: List[ASLookingGlass]
-    traceroute: TracerouteCampaign
-    vantage_points: List[VantagePoint]
-    #: Shared runtime context (interners, CSR index, memoised routes);
-    #: threaded through propagation and the inference engine.
-    context: Optional[PipelineContext] = None
-
-    # -- ground truth -----------------------------------------------------------------
-
-    def ground_truth_links(self) -> Set[Tuple[int, int]]:
-        """All ground-truth MLP pairs across the IXPs."""
-        return self.internet.all_mlp_links()
-
-    def ground_truth_links_by_ixp(self) -> Dict[str, Set[Tuple[int, int]]]:
-        """Per-IXP ground-truth MLP pairs."""
-        return {name: set(pairs)
-                for name, pairs in self.internet.mlp_ground_truth.items()}
-
-    def rs_members_by_ixp(self) -> Dict[str, List[int]]:
-        """Ground-truth RS membership per IXP."""
-        return {spec.name: self.graph.rs_members_of_ixp(spec.name)
-                for spec in self.internet.ixp_specs}
-
-    def rs_asns(self) -> Dict[str, int]:
-        """Route-server ASN per IXP."""
-        return {spec.name: spec.rs_asn for spec in self.internet.ixp_specs}
-
-    def mappers(self) -> Dict[str, Private16BitMapper]:
-        """Private-ASN mappers per IXP (documented by the IXP operators)."""
-        return {name: rs.mapper for name, rs in self.route_servers.items()}
-
-    def relationship_map(self) -> Dict[Tuple[int, int], Relationship]:
-        """Ground-truth ordered-pair relationship map."""
-        return self.graph.relationship_map()
-
-    # -- public views -----------------------------------------------------------------
-
-    def public_bgp_links(self) -> Set[Tuple[int, int]]:
-        """AS links visible in the archived collector data."""
-        return self.archive.visible_as_links()
-
-    def traceroute_links(self) -> Set[Tuple[int, int]]:
-        """AS links derived from the traceroute campaign."""
-        return self.traceroute.derive_links(self.propagation)
-
-    # -- inference plumbing --------------------------------------------------------------
-
-    def discover_connectivity(self) -> Dict[str, ConnectivityReport]:
-        """Run connectivity discovery over every IXP."""
-        as_set_names = {spec.name: _as_set_name(spec.name)
-                        for spec in self.internet.ixp_specs
-                        if spec.publishes_member_list}
-        discovery = ConnectivityDiscovery(irr=self.irr, as_set_names=as_set_names)
-        return discovery.discover_all(
-            self.ixps.values(),
-            rs_lgs=self.rs_looking_glasses,
-            rs_asns=self.rs_asns(),
-        )
-
-    def make_engine(
-        self,
-        connectivity: Optional[Dict[str, ConnectivityReport]] = None,
-        use_ground_truth_relationships: bool = True,
-    ) -> MLPInferenceEngine:
-        """Build the inference engine from discovered (or supplied) data."""
-        if connectivity is None:
-            connectivity = self.discover_connectivity()
-        rs_members = {name: set(report.members)
-                      for name, report in connectivity.items()}
-        relationships = self.relationship_map() \
-            if use_ground_truth_relationships else {}
-        return MLPInferenceEngine(
-            registry=self.schemes,
-            rs_members=rs_members,
-            mappers=self.mappers(),
-            relationships=relationships,
-            context=self.context,
-        )
-
-    def run_inference(
-        self,
-        use_passive: bool = True,
-        use_active: bool = True,
-        require_reciprocity: bool = True,
-        workers: Optional[int] = None,
-    ) -> MLPInferenceResult:
-        """Run the end-to-end inference pipeline of section 4.
-
-        ``workers > 1`` shards the per-IXP passive/active inference
-        across a process pool (identical results, deterministic order).
-        """
-        engine = self.make_engine()
-        passive_entries = self.archive.clean_stable_entries() if use_passive else None
-        rs_lgs = self.rs_looking_glasses if use_active else {}
-        third_party = self.third_party_lgs if use_active else {}
-        return engine.run(
-            passive_entries=passive_entries,
-            rs_looking_glasses=rs_lgs,
-            third_party_lgs=third_party,
-            require_reciprocity=require_reciprocity,
-            workers=workers,
-        )
-
-    # -- misc helpers ---------------------------------------------------------------------
-
-    def origin_prefixes(self) -> Dict[int, List[Prefix]]:
-        """Prefixes originated by every AS."""
-        return {node.asn: list(node.prefixes) for node in self.graph.nodes()}
-
-    def ixp_summary(self) -> List[Dict[str, object]]:
-        """Per-IXP summary (members, RS members, LG availability)."""
-        return [self.ixps[spec.name].summary() for spec in self.internet.ixp_specs]
-
-
-def _as_set_name(ixp_name: str) -> str:
-    cleaned = ixp_name.upper().replace(".", "-").replace(" ", "-")
-    return f"AS-{cleaned}-RS"
-
-
-# ---------------------------------------------------------------------------
-# scenario assembly: the stage functions of the pipeline's stage graph
-# ---------------------------------------------------------------------------
-#
-# Assembly is split into stages executed by
-# :class:`~repro.pipeline.run.ScenarioRun`.  Each stage is a pure
-# function of the config and its upstream artifacts, so artifacts are
-# cacheable by fingerprint; the shared random stream of the original
-# monolithic builder is preserved bit-for-bit by threading the
-# ``random.Random`` state through the artifacts (a stage restores the
-# upstream state, draws, and publishes the resulting state).
-
-
-def stage_topology(config: ScenarioConfig) -> GeneratedInternet:
-    """Generate the synthetic Internet (graph, IXP specs, ground truth)."""
-    return InternetGenerator(config.generator).generate()
-
-
-def stage_ixps(config: ScenarioConfig, internet: GeneratedInternet) -> Dict[str, object]:
-    """Build IXPs/route servers and announce member routes to the RSes."""
-    rng = random.Random(config.seed)
-    schemes = _build_schemes(internet.ixp_specs)
-    ixps, route_servers = _build_ixps(internet, schemes, config)
-    _announce_routes(internet, route_servers, rng, config)
-    return {
-        "schemes": schemes,
-        "ixps": ixps,
-        "route_servers": route_servers,
-        "rng_state": rng.getstate(),
-    }
-
-
-def stage_propagation(
-    config: ScenarioConfig,
-    internet: GeneratedInternet,
-    ixps_artifact: Dict[str, object],
-    workers: Optional[int] = None,
-) -> Dict[str, object]:
-    """Pick observation points and run valley-free propagation.
-
-    The per-origin frontier runs are embarrassingly parallel; with
-    ``workers > 1`` they are sharded across a process pool (worker
-    contexts rebuilt from a :mod:`repro.runtime.snapshot`), with results
-    bit-identical to the single-process path.
-    """
-    graph = internet.graph
-    route_servers: Dict[str, RouteServer] = ixps_artifact["route_servers"]
-    rng = random.Random()
-    rng.setstate(ixps_artifact["rng_state"])
-
-    vantage_points = _pick_vantage_points(internet, rng, config)
-    vantage_asns = [vp.asn for vp in vantage_points]
-    lg_hosts = _pick_third_party_lg_hosts(internet, rng, config)
-    monitors = _pick_traceroute_monitors(internet, rng, config)
-    validation_hosts = _pick_validation_hosts(internet, rng, config)
-
-    record_at = set(vantage_asns) | set(monitors) | set(validation_hosts)
-    for hosts in lg_hosts.values():
-        record_at.update(hosts)
-
-    def rs_communities(asn: int, ixp_name: str) -> FrozenSet[Community]:
-        route_server = route_servers.get(ixp_name)
-        if route_server is None or not route_server.is_member(asn):
-            return frozenset()
-        policy = route_server.member_policy(asn)
-        return policy.communities_for(route_server.scheme, None, route_server.mapper)
-
-    context = PipelineContext.from_graph(
-        graph, rs_community_provider=rs_communities)
-    origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
-               for node in graph.nodes() if node.prefixes]
-
-    from repro.pipeline.shard import sharded_propagate
-    propagation = sharded_propagate(
-        context, origins, record_at, set(validation_hosts), workers)
-
-    return {
-        "context": context,
-        "propagation": propagation,
-        "vantage_points": vantage_points,
-        "lg_hosts": lg_hosts,
-        "monitors": monitors,
-        "validation_hosts": validation_hosts,
-        "rng_state": rng.getstate(),
-    }
-
-
-def stage_collectors(
-    config: ScenarioConfig, propagation_artifact: Dict[str, object]
-) -> Dict[str, object]:
-    """Archive collector table dumps over the measurement window."""
-    collectors, archive = _build_collectors(
-        propagation_artifact["vantage_points"],
-        propagation_artifact["propagation"],
-        config)
-    return {"collectors": collectors, "archive": archive}
-
-
-def stage_viewpoints(
-    config: ScenarioConfig,
-    internet: GeneratedInternet,
-    ixps_artifact: Dict[str, object],
-    propagation_artifact: Dict[str, object],
-) -> Dict[str, object]:
-    """Build looking glasses (RS, third-party, validation) and PeeringDB."""
-    route_servers: Dict[str, RouteServer] = ixps_artifact["route_servers"]
-    rng = random.Random()
-    rng.setstate(propagation_artifact["rng_state"])
-    rs_lgs = _build_rs_lgs(internet, route_servers)
-    third_party_lgs = _build_third_party_lgs(
-        internet, route_servers, propagation_artifact["lg_hosts"])
-    validation_lgs, peeringdb = _build_validation_lgs_and_peeringdb(
-        internet, propagation_artifact["propagation"], route_servers,
-        propagation_artifact["validation_hosts"], rng, config)
-    return {
-        "rs_looking_glasses": rs_lgs,
-        "third_party_lgs": third_party_lgs,
-        "validation_lgs": validation_lgs,
-        "peeringdb": peeringdb,
-        "rng_state": rng.getstate(),
-    }
-
-
-def stage_registries(
-    config: ScenarioConfig,
-    internet: GeneratedInternet,
-    viewpoints_artifact: Dict[str, object],
-) -> Dict[str, object]:
-    """Build the IRR database and the geolocation substrate."""
-    rng = random.Random()
-    rng.setstate(viewpoints_artifact["rng_state"])
-    irr = _build_irr(internet, rng)
-    geolocation = _build_geolocation(internet.graph)
-    return {"irr": irr, "geolocation": geolocation}
-
-
-def stage_scenario(
-    config: ScenarioConfig,
-    internet: GeneratedInternet,
-    ixps_artifact: Dict[str, object],
-    propagation_artifact: Dict[str, object],
-    collectors_artifact: Dict[str, object],
-    viewpoints_artifact: Dict[str, object],
-    registries_artifact: Dict[str, object],
-) -> Scenario:
-    """Assemble the :class:`Scenario` from the stage artifacts."""
-    traceroute = TracerouteCampaign(
-        internet.graph,
-        TracerouteConfig(monitor_asns=propagation_artifact["monitors"],
-                         report_rs_hop_as_rs_link=True),
-        rs_asn_by_ixp={spec.name: spec.rs_asn for spec in internet.ixp_specs},
-    )
-    return Scenario(
-        config=config,
-        internet=internet,
-        graph=internet.graph,
-        schemes=ixps_artifact["schemes"],
-        ixps=ixps_artifact["ixps"],
-        route_servers=ixps_artifact["route_servers"],
-        rs_looking_glasses=viewpoints_artifact["rs_looking_glasses"],
-        third_party_lgs=viewpoints_artifact["third_party_lgs"],
-        collectors=collectors_artifact["collectors"],
-        archive=collectors_artifact["archive"],
-        propagation=propagation_artifact["propagation"],
-        irr=registries_artifact["irr"],
-        peeringdb=viewpoints_artifact["peeringdb"],
-        geolocation=registries_artifact["geolocation"],
-        validation_lgs=viewpoints_artifact["validation_lgs"],
-        traceroute=traceroute,
-        vantage_points=propagation_artifact["vantage_points"],
-        context=propagation_artifact["context"],
-    )
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "build_europe2013",
+    "stage_collectors",
+    "stage_ixps",
+    "stage_propagation",
+    "stage_registries",
+    "stage_scenario",
+    "stage_topology",
+    "stage_viewpoints",
+]
 
 
 def build_europe2013(
     config: Optional[ScenarioConfig] = None,
     workers: Optional[int] = None,
 ) -> Scenario:
-    """Assemble the full scenario (see the module docstring).
+    """Assemble the full Europe-2013 scenario.
 
     This is a convenience wrapper over the staged pipeline: it executes
-    the stage graph through a fresh
+    the registered ``europe2013`` spec's stage graph through a fresh
     :class:`~repro.pipeline.run.ScenarioRun` (no shared cache) and
     returns the assembled :class:`Scenario`.  ``workers`` shards the
     propagation stage across a process pool.
     """
     from repro.pipeline.run import ScenarioRun
-    return ScenarioRun(config or ScenarioConfig(), workers=workers).scenario()
-
-
-def _build_schemes(ixp_specs: Sequence[IXPSpec]) -> SchemeRegistry:
-    registry = SchemeRegistry()
-    for spec in ixp_specs:
-        registry.add(CommunityScheme.from_style(
-            spec.scheme_style, spec.name, spec.rs_asn))
-    return registry
-
-
-def _build_ixps(
-    internet: GeneratedInternet,
-    schemes: SchemeRegistry,
-    config: ScenarioConfig,
-) -> Tuple[Dict[str, IXP], Dict[str, RouteServer]]:
-    ixps: Dict[str, IXP] = {}
-    route_servers: Dict[str, RouteServer] = {}
-    for index, spec in enumerate(internet.ixp_specs):
-        lan = Prefix.from_octets(185, 1, 4 * index, 0, 22)
-        ixp = IXP(
-            name=spec.name,
-            region=spec.region,
-            pricing=spec.pricing,
-            peering_lan=lan,
-            publishes_member_list=spec.publishes_member_list,
-        )
-        route_server = RouteServer(
-            ixp_name=spec.name,
-            rs_asn=spec.rs_asn,
-            scheme=schemes.get(spec.name),
-            transparent=spec.rs_transparent,
-        )
-        ixp.add_route_server(route_server)
-        for asn in internet.graph.members_of_ixp(spec.name):
-            ixp.add_member(asn)
-        for asn in internet.graph.rs_members_of_ixp(spec.name):
-            intent = internet.export_intents[(spec.name, asn)]
-            policy = MemberExportPolicy(
-                member_asn=asn, ixp_name=spec.name,
-                mode=intent.mode, listed=intent.listed)
-            ixp.connect_to_route_server(asn, policy)
-        ixps[spec.name] = ixp
-        route_servers[spec.name] = route_server
-    return ixps, route_servers
-
-
-def _announce_routes(
-    internet: GeneratedInternet,
-    route_servers: Dict[str, RouteServer],
-    rng: random.Random,
-    config: ScenarioConfig,
-) -> None:
-    """Each RS member announces its own prefixes plus a sample of its
-    customer cone's prefixes, tagged per its export policy; a tiny
-    fraction of members deviates on one prefix (the <0.5% inconsistency)."""
-    graph = internet.graph
-    for spec in internet.ixp_specs:
-        route_server = route_servers[spec.name]
-        members = graph.rs_members_of_ixp(spec.name)
-        for asn in members:
-            own_prefixes = graph.prefixes_of(asn)
-            announced: List[Tuple[Prefix, Tuple[int, ...]]] = [
-                (prefix, (asn,)) for prefix in own_prefixes]
-            cone = sorted(customer_cone(graph, asn) - {asn})
-            for customer in cone:
-                for prefix in graph.prefixes_of(customer):
-                    if rng.random() < config.cone_prefix_fraction:
-                        announced.append((prefix, (asn, customer)))
-            deviate = rng.random() < config.inconsistent_member_fraction
-            for index, (prefix, path) in enumerate(announced):
-                if deviate and index == 0 and len(announced) > 1:
-                    # One prefix announced with an extra, unusual EXCLUDE.
-                    others = [m for m in members if m != asn]
-                    if others:
-                        extra = rng.choice(others)
-                        scheme = route_server.scheme
-                        policy = route_server.member_policy(asn)
-                        communities = set(policy.communities_for(
-                            scheme, prefix, route_server.mapper))
-                        communities.add(scheme.exclude(extra, route_server.mapper))
-                        route_server.announce(asn, prefix, path, communities)
-                        continue
-                route_server.announce(asn, prefix, path)
-
-
-def _pick_vantage_points(
-    internet: GeneratedInternet, rng: random.Random, config: ScenarioConfig
-) -> List[VantagePoint]:
-    graph = internet.graph
-    candidates = [node.asn for node in graph.nodes()
-                  if node.as_type in (ASType.TIER1, ASType.TRANSIT, ASType.REGIONAL)]
-    count = max(8, int(len(graph) * config.vantage_point_fraction))
-    chosen = set(rng.sample(candidates, min(count, len(candidates))))
-    # Make sure every IXP has at least one RS feeder: an RS member whose
-    # feed can expose that IXP's communities to a collector.
-    for spec in internet.ixp_specs:
-        members = graph.rs_members_of_ixp(spec.name)
-        if not members:
-            continue
-        if not any(asn in chosen for asn in members):
-            chosen.add(rng.choice(members))
-    vantage_points = []
-    for asn in sorted(chosen):
-        feed = FeedType.FULL if rng.random() < config.full_feed_fraction \
-            else FeedType.CUSTOMER_ONLY
-        vantage_points.append(VantagePoint(asn=asn, feed_type=feed))
-    return vantage_points
-
-
-def _pick_third_party_lg_hosts(
-    internet: GeneratedInternet, rng: random.Random, config: ScenarioConfig
-) -> Dict[str, List[int]]:
-    graph = internet.graph
-    hosts: Dict[str, List[int]] = {}
-    for spec in internet.ixp_specs:
-        if spec.has_rs_lg:
-            continue
-        members = graph.rs_members_of_ixp(spec.name)
-        if not members:
-            hosts[spec.name] = []
-            continue
-        preferred = [asn for asn in members
-                     if graph.get_as(asn).as_type in (ASType.TRANSIT, ASType.REGIONAL)]
-        pool = preferred or members
-        count = min(config.third_party_lgs_per_ixp, len(pool))
-        hosts[spec.name] = sorted(rng.sample(pool, count))
-    return hosts
-
-
-def _pick_traceroute_monitors(
-    internet: GeneratedInternet, rng: random.Random, config: ScenarioConfig
-) -> List[int]:
-    graph = internet.graph
-    candidates = [node.asn for node in graph.nodes()
-                  if node.as_type in (ASType.STUB, ASType.REGIONAL)]
-    count = min(config.num_traceroute_monitors, len(candidates))
-    return sorted(rng.sample(candidates, count))
-
-
-def _pick_validation_hosts(
-    internet: GeneratedInternet, rng: random.Random, config: ScenarioConfig
-) -> List[int]:
-    graph = internet.graph
-    rs_members = {asn for spec in internet.ixp_specs
-                  for asn in graph.rs_members_of_ixp(spec.name)}
-    customers_of_members = set()
-    for asn in rs_members:
-        customers_of_members.update(graph.customers(asn))
-    pool = sorted(rs_members | customers_of_members)
-    count = min(config.num_validation_lgs, len(pool))
-    return sorted(rng.sample(pool, count))
-
-
-def _build_collectors(
-    vantage_points: List[VantagePoint],
-    propagation: PropagationResult,
-    config: ScenarioConfig,
-) -> Tuple[List[RouteCollector], CollectorArchive]:
-    route_views = RouteCollector(name="route-views")
-    ripe_ris = RouteCollector(name="rrc00")
-    for index, vantage_point in enumerate(vantage_points):
-        collector = route_views if index % 2 == 0 else ripe_ris
-        collector.add_vantage_point(vantage_point)
-    archive = CollectorArchive([route_views, ripe_ris], window=config.window,
-                               seed=config.seed)
-    archive.collect(propagation, transient_fraction=config.transient_fraction)
-    return [route_views, ripe_ris], archive
-
-
-def _build_rs_lgs(
-    internet: GeneratedInternet, route_servers: Dict[str, RouteServer]
-) -> Dict[str, RouteServerLookingGlass]:
-    return {spec.name: RouteServerLookingGlass(route_servers[spec.name])
-            for spec in internet.ixp_specs if spec.has_rs_lg}
-
-
-def _build_third_party_lgs(
-    internet: GeneratedInternet,
-    route_servers: Dict[str, RouteServer],
-    lg_hosts: Dict[str, List[int]],
-) -> Dict[str, List[ASLookingGlass]]:
-    result: Dict[str, List[ASLookingGlass]] = {}
-    for ixp_name, hosts in lg_hosts.items():
-        route_server = route_servers[ixp_name]
-        lgs: List[ASLookingGlass] = []
-        for asn in hosts:
-            lg = ASLookingGlass(asn=asn, display_all_paths=True,
-                                name=f"{ixp_name}-member-AS{asn}-lg")
-            lg.load_route_server_exports(route_server)
-            lgs.append(lg)
-        result[ixp_name] = lgs
-    return result
-
-
-def _build_validation_lgs_and_peeringdb(
-    internet: GeneratedInternet,
-    propagation: PropagationResult,
-    route_servers: Dict[str, RouteServer],
-    validation_hosts: List[int],
-    rng: random.Random,
-    config: ScenarioConfig,
-) -> Tuple[List[ASLookingGlass], PeeringDB]:
-    graph = internet.graph
-    peeringdb = PeeringDB()
-
-    for node in graph.nodes():
-        if not node.in_peeringdb:
-            continue
-        record = PeeringDBRecord(
-            asn=node.asn, name=node.name, policy=node.policy,
-            scope=node.scope, ixps=set(node.ixps))
-        peeringdb.register(record)
-
-    validation_lgs: List[ASLookingGlass] = []
-    for asn in validation_hosts:
-        display_all = rng.random() < config.all_paths_lg_fraction
-        lg = ASLookingGlass(asn=asn, display_all_paths=display_all,
-                            name=f"AS{asn}-lg")
-        # Load the AS's BGP view from the propagation result: every offered
-        # path (its Adj-RIB-In) when recorded, the best path otherwise.
-        for origin in propagation.origins():
-            routes = propagation.all_paths(asn, origin)
-            if not routes:
-                continue
-            spec = propagation.origin_spec(origin)
-            best_key = min(range(len(routes)), key=lambda i: (
-                routes[i].provenance, len(routes[i].path)))
-            for index, route in enumerate(routes):
-                for prefix in spec.prefixes:
-                    lg.load_route(LGRoute(
-                        prefix=prefix,
-                        as_path=route.path,
-                        communities=route.communities,
-                        best=(index == best_key),
-                        learned_from=route.learned_from,
-                    ))
-        validation_lgs.append(lg)
-        peeringdb.add_looking_glass(asn, f"https://lg.as{asn}.example.net",
-                                    display_all_paths=display_all)
-    return validation_lgs, peeringdb
-
-
-def _build_irr(internet: GeneratedInternet, rng: random.Random) -> IRRDatabase:
-    irr = IRRDatabase()
-    graph = internet.graph
-
-    for spec in internet.ixp_specs:
-        members = set(graph.rs_members_of_ixp(spec.name))
-        if spec.publishes_member_list:
-            # The IXP maintains an as-set of its RS members (a couple of
-            # recent joiners may be missing, as in real registries).
-            registered = set(members)
-            for asn in list(registered):
-                if rng.random() < 0.02:
-                    registered.discard(asn)
-            irr.register_as_set(ASSet(
-                name=_as_set_name(spec.name), members=registered,
-                maintained_by=spec.rs_asn))
-
-        for asn in members:
-            intent = internet.export_intents[(spec.name, asn)]
-            register_probability = 0.9 if spec.name == "AMS-IX" else \
-                (0.55 if spec.name == "LINX" else 0.25)
-            if rng.random() > register_probability:
-                continue
-            blocked_export: Set[int] = set()
-            if intent.mode == MODE_ALL_EXCEPT:
-                blocked_export = set(intent.listed)
-            else:
-                blocked_export = members - set(intent.listed) - {asn}
-            # Import filters are at most as restrictive as export filters
-            # (section 4.4's empirical finding); about half block fewer.
-            if blocked_export and rng.random() < 0.5:
-                keep = rng.randint(0, max(0, len(blocked_export) - 1))
-                blocked_import = set(rng.sample(sorted(blocked_export), keep))
-            else:
-                blocked_import = set(blocked_export)
-            existing = irr.aut_num(asn)
-            policy = existing or AutNumPolicy(asn=asn)
-            policy.blocked_export |= blocked_export
-            policy.blocked_import |= blocked_import
-            policy.rs_peers.add(spec.rs_asn)
-            irr.register_aut_num(policy)
-    return irr
-
-
-def _build_geolocation(graph: ASGraph) -> GeolocationDB:
-    geodb = GeolocationDB()
-    for node in graph.nodes():
-        geodb.register_many(node.prefixes, node.region)
-    return geodb
+    return ScenarioRun(config or ScenarioConfig(), scenario="europe2013",
+                       workers=workers).scenario()

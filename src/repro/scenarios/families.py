@@ -1,0 +1,145 @@
+"""Built-in scenario families.
+
+Importing this module registers the built-ins in the global
+:data:`~repro.scenarios.spec.REGISTRY` (it is imported lazily by the
+``get_scenario`` / ``scenario_names`` lookups, so callers never need to
+import it directly):
+
+* ``europe2013`` — the paper's measurement: 13 large European IXPs,
+  May 2013 (Table 2 roster, Table 1 community grammars).  Byte-for-byte
+  the scenario the repository has always built.
+* ``hypergiant2016`` — a content-heavy era: twice the hypergiants, a
+  much larger content population, aggressive private peering (which
+  drives EXCLUDE filtering), and markedly lower route-server
+  participation.
+* ``sparse-view`` — a visibility stress test over the Table 2 roster:
+  almost no collector vantage points, a single route-server looking
+  glass, one third-party LG per IXP and very few validation LGs.
+* ``growth-sweep-<year>`` — a year-over-year growth family: the
+  Table 2 roster with IXP membership compounding ~18%/year from the
+  2013 baseline (and PeeringDB registration slowly rising), for scale
+  sweeps along a realistic axis.
+
+Adding a family is one :func:`~repro.scenarios.spec.register_scenario`
+call; benchmarks, workloads, examples and the CI scenario matrix pick
+it up automatically because they resolve scenarios via the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from repro.scenarios.spec import ScenarioSpec, register_scenario
+from repro.topology.generator import IXPSpec, default_euro_ixps
+
+
+# -- europe2013 ---------------------------------------------------------------
+
+EUROPE2013 = register_scenario(ScenarioSpec(
+    name="europe2013",
+    description="13 large European IXPs, May 2013 (the paper's Table 2).",
+))
+
+
+# -- hypergiant2016 -----------------------------------------------------------
+
+def hypergiant_era_ixps(member_scale: float) -> List[IXPSpec]:
+    """A 2016-style roster: fewer, larger IXPs with weaker RS uptake."""
+    def scaled(members: int) -> int:
+        return max(12, int(round(members * member_scale)))
+
+    return [
+        IXPSpec("DE-CIX-FRA", 6695, "eu-central", scaled(700), 0.62, "flat", True, "rs-asn"),
+        IXPSpec("AMS-IX-NL", 6777, "eu-west", scaled(750), 0.58, "flat", True, "rs-asn"),
+        IXPSpec("LINX-LON1", 8714, "eu-west", scaled(620), 0.44, "flat", False, "offset",
+                publishes_member_list=False),
+        IXPSpec("NL-IX", 34307, "eu-west", scaled(180), 0.50, "usage", True, "rs-asn"),
+        IXPSpec("VIX", 1921, "eu-central", scaled(120), 0.52, "flat", True, "zero-exclude"),
+        IXPSpec("ESPANIX", 6895, "eu-south", scaled(95), 0.55, "flat", True, "rs-asn"),
+    ]
+
+
+HYPERGIANT2016 = register_scenario(ScenarioSpec(
+    name="hypergiant2016",
+    description="Content-heavy 2016 regime: many hypergiants, heavy "
+                "private peering, lower route-server participation.",
+    ixp_roster=hypergiant_era_ixps,
+    generator=dict(
+        num_hypergiants=8,
+        content_multiplier=2.5,
+        hypergiant_ixp_presence=0.97,
+        hypergiant_private_peering_probability=0.18,
+        policy_fractions=(0.80, 0.16, 0.04),
+        rs_participation={"open": 0.72, "selective": 0.45, "restrictive": 0.20},
+        peeringdb_registration_rate=0.70,
+    ),
+    base_seed=20160501,
+))
+
+
+# -- sparse-view --------------------------------------------------------------
+
+def sparse_view_ixps(member_scale: float) -> List[IXPSpec]:
+    """The Table 2 roster with the observation surface stripped down:
+    only DE-CIX keeps a route-server LG, and only DE-CIX/AMS-IX still
+    publish their member lists."""
+    return [replace(spec,
+                    has_rs_lg=(spec.name == "DE-CIX"),
+                    publishes_member_list=spec.name in ("DE-CIX", "AMS-IX"))
+            for spec in default_euro_ixps(member_scale)]
+
+
+SPARSE_VIEW = register_scenario(ScenarioSpec(
+    name="sparse-view",
+    description="Collector/LG-poor visibility stress: 2% vantage points, "
+                "one RS looking glass, minimal validation surface.",
+    ixp_roster=sparse_view_ixps,
+    surface=dict(
+        vantage_point_fraction=0.02,
+        full_feed_fraction=0.15,
+        num_validation_lgs=8,
+        third_party_lgs_per_ixp=1,
+        num_traceroute_monitors=6,
+    ),
+))
+
+
+# -- growth-sweep -------------------------------------------------------------
+
+#: Year-over-year multiplicative growth of IXP route-server membership
+#: (roughly what Table 2-class IXPs saw through the mid-2010s).
+GROWTH_PER_YEAR = 1.18
+#: The baseline year of the Table 2 roster.
+GROWTH_BASE_YEAR = 2013
+
+
+def growth_sweep_spec(year: int) -> ScenarioSpec:
+    """The growth-sweep family member for *year*.
+
+    Membership compounds :data:`GROWTH_PER_YEAR` from the 2013 baseline;
+    PeeringDB registration creeps up a few points per year.  Any year
+    ``>= 2013`` is valid — the registry pre-registers a small ladder.
+    """
+    if year < GROWTH_BASE_YEAR:
+        raise ValueError(f"growth sweep starts at {GROWTH_BASE_YEAR}, got {year}")
+    years = year - GROWTH_BASE_YEAR
+    return ScenarioSpec(
+        name=f"growth-sweep-{year}",
+        description=f"Table 2 roster with membership grown "
+                    f"{GROWTH_PER_YEAR:.2f}x/year to {year}.",
+        member_growth=GROWTH_PER_YEAR ** years,
+        generator=dict(
+            peeringdb_registration_rate=min(0.85, 0.55 + 0.03 * years),
+        ),
+        base_seed=20130501 + years,
+    )
+
+
+#: The pre-registered rungs of the growth ladder.
+GROWTH_SWEEP_YEARS = (2014, 2016, 2018)
+
+GROWTH_SWEEP = {
+    year: register_scenario(growth_sweep_spec(year))
+    for year in GROWTH_SWEEP_YEARS
+}

@@ -1,77 +1,73 @@
 """Parameterised workload configurations for tests, examples and benchmarks.
 
-Three sizes are provided:
-
-* ``small``  — a minutes-of-CPU-free configuration for unit/integration
-  tests (a handful of IXPs' worth of members);
-* ``medium`` — the default used by most benchmarks; preserves the
-  qualitative structure of Table 2 at roughly a quarter of the paper's
-  member counts;
-* ``large``  — closer to the paper's scale, for the headline Table 2 /
-  Figure 6 benchmarks when more runtime is acceptable.
+Sizes are no longer hand-rolled per function: every registered scenario
+family carries a size table (``tiny`` / ``small`` / ``bench`` /
+``medium`` / ``large`` / ``full`` by default, see
+:data:`repro.scenarios.spec.DEFAULT_SIZES`), and this module resolves
+``(scenario, size, seed)`` triples through the registry.  The historical
+``small_scenario_config`` / ``medium_scenario_config`` /
+``large_scenario_config`` helpers remain as thin, bit-identical wrappers
+over the ``europe2013`` rows of that table.
 """
 
 from __future__ import annotations
 
-from repro.collectors.archive import MeasurementWindow
-from repro.scenarios.europe2013 import ScenarioConfig
-from repro.topology.generator import GeneratorConfig
+from typing import List, Optional
+
+from repro.scenarios.base import ScenarioConfig
+from repro.scenarios.spec import get_scenario, scenario_names
+
+
+def scenario_config(size: str = "small", seed: Optional[int] = None,
+                    scenario: str = "europe2013") -> ScenarioConfig:
+    """The :class:`ScenarioConfig` of one registered scenario at one size."""
+    return get_scenario(scenario).config(size, seed)
 
 
 def small_scenario_config(seed: int = 20130501) -> ScenarioConfig:
-    """A small, fast configuration for tests."""
-    return ScenarioConfig(
-        generator=GeneratorConfig(seed=seed, scale=0.12, ixp_member_scale=0.10),
-        seed=seed + 1,
-        vantage_point_fraction=0.10,
-        num_validation_lgs=25,
-        num_traceroute_monitors=12,
-        window=MeasurementWindow(num_days=3),
-    )
+    """A small, fast europe2013 configuration for tests."""
+    return scenario_config("small", seed)
 
 
 def medium_scenario_config(seed: int = 20130501) -> ScenarioConfig:
-    """The default benchmark configuration (roughly quarter scale)."""
-    return ScenarioConfig(
-        generator=GeneratorConfig(seed=seed, scale=0.25, ixp_member_scale=0.22),
-        seed=seed + 1,
-        num_validation_lgs=50,
-        num_traceroute_monitors=20,
-    )
+    """The default europe2013 benchmark configuration (~quarter scale)."""
+    return scenario_config("medium", seed)
 
 
 def large_scenario_config(seed: int = 20130501) -> ScenarioConfig:
-    """A configuration closer to the paper's scale (slower to build)."""
-    return ScenarioConfig(
-        generator=GeneratorConfig(seed=seed, scale=0.45, ixp_member_scale=0.40),
-        seed=seed + 1,
-        num_validation_lgs=70,
-        num_traceroute_monitors=30,
-    )
+    """A europe2013 configuration closer to the paper's scale (slower)."""
+    return scenario_config("large", seed)
 
 
-#: Named workload sizes, for CLI-ish entry points and the smoke job.
-WORKLOADS = {
-    "small": small_scenario_config,
-    "medium": medium_scenario_config,
-    "large": large_scenario_config,
-}
+def workload_sizes(scenario: str = "europe2013") -> List[str]:
+    """The sizes a registered scenario can be instantiated at."""
+    return get_scenario(scenario).size_names()
 
 
-def scenario_run(size: str = "small", seed: int = 20130501, *,
+def scenario_run(size: str = "small", seed: Optional[int] = None, *,
+                 scenario: str = "europe2013",
                  workers=None, cache=None, cache_dir=None):
     """A :class:`~repro.pipeline.run.ScenarioRun` for a named workload.
 
     This is the canonical entry point for executing a workload through
-    the staged pipeline: stages resolve lazily, artifacts land in
-    *cache* (or a fresh one), and ``workers`` shards the parallel
-    stages.
+    the staged pipeline: the scenario resolves through the registry,
+    stages resolve lazily, artifacts land in *cache* (or a fresh one),
+    and ``workers`` shards the parallel stages.  ``seed`` defaults to
+    the spec's own ``base_seed`` (the family's declared identity).
     """
-    try:
-        factory = WORKLOADS[size]
-    except KeyError:
+    spec = get_scenario(scenario)
+    if size not in spec.sizes:
         raise ValueError(
-            f"unknown workload {size!r} (choose from {sorted(WORKLOADS)})")
+            f"unknown workload {size!r} (choose from {sorted(spec.sizes)})")
     from repro.pipeline.run import ScenarioRun
-    return ScenarioRun(factory(seed), workers=workers, cache=cache,
-                       cache_dir=cache_dir)
+    return ScenarioRun(spec.config(size, seed), scenario=spec,
+                       workers=workers, cache=cache, cache_dir=cache_dir)
+
+
+def scenario_matrix(size: str = "tiny", seed: Optional[int] = None, *,
+                    workers=None, cache=None):
+    """One :class:`~repro.pipeline.run.ScenarioRun` per registered
+    scenario family, in name order — the CI smoke matrix."""
+    return [scenario_run(size, seed, scenario=name, workers=workers,
+                         cache=cache)
+            for name in scenario_names()]

@@ -8,6 +8,12 @@ memberships, and — most importantly — the ground-truth per-member export
 intents (ALL+EXCLUDE / NONE+INCLUDE) from which the multilateral peering
 fabric follows.
 
+Generation is decomposed into the composable phases of
+:mod:`repro.topology.phases`; :class:`GeneratorConfig.phases` selects
+(and orders) them, so a scenario family can drop, reorder or substitute
+phases while every phase's knobs stay on this config.  The default
+phase order reproduces the original monolithic generator bit-for-bit.
+
 The output is a :class:`GeneratedInternet`, the single object the
 scenario layer turns into route servers, collectors, looking glasses and
 registries.  Because the generator knows the ground truth, the evaluation
@@ -19,44 +25,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.bgp.prefix import Prefix
-from repro.topology.as_graph import (
-    ASGraph,
-    ASLink,
-    ASNode,
-    ASType,
-    GeographicScope,
-    PeeringPolicy,
+from repro.topology.as_graph import ASGraph
+from repro.topology.phases import (  # noqa: F401  (re-exported API)
+    DEFAULT_PHASE_ORDER,
+    PHASES,
+    ExportIntent,
+    GenerationState,
+    MODE_ALL_EXCEPT,
+    MODE_NONE_EXCEPT,
 )
-from repro.topology.relationships import LinkType
-
-#: Export-intent modes, matching the two community idioms of Table 1.
-MODE_ALL_EXCEPT = "all-except"
-MODE_NONE_EXCEPT = "none-except"
-
-
-@dataclass(frozen=True)
-class ExportIntent:
-    """Ground-truth export policy of one RS member at one route server.
-
-    ``MODE_ALL_EXCEPT`` announces to every member except ``listed``;
-    ``MODE_NONE_EXCEPT`` announces only to ``listed``.
-    """
-
-    mode: str
-    listed: FrozenSet[int] = frozenset()
-
-    def allows(self, peer_asn: int) -> bool:
-        """True if routes should reach *peer_asn* through the route server."""
-        if self.mode == MODE_ALL_EXCEPT:
-            return peer_asn not in self.listed
-        return peer_asn in self.listed
-
-    def allowed_members(self, members: Sequence[int], self_asn: int) -> Set[int]:
-        """The members (excluding the announcer) the intent allows."""
-        return {m for m in members if m != self_asn and self.allows(m)}
 
 
 @dataclass
@@ -143,11 +122,34 @@ class GeneratorConfig:
     #: (drives the paper's "12% of EXCLUDEs block a co-located customer").
     exclude_customer_probability: float = 0.12
 
+    #: Per-IXP probability that a hypergiant joins the roster.
+    hypergiant_ixp_presence: float = 0.9
+    #: Per-(hypergiant, IXP member) probability of a private interconnect.
+    hypergiant_private_peering_probability: float = 0.06
+    #: Bilateral (non-RS) session count range per off-RS member.
+    bilateral_peer_range: Tuple[int, int] = (1, 6)
+    #: Content-AS population multiplier (content-heavy eras raise it).
+    content_multiplier: float = 1.0
+
+    #: Generation phase sequence (None -> the monolith-equivalent
+    #: :data:`~repro.topology.phases.DEFAULT_PHASE_ORDER`).
+    phases: Optional[Tuple[str, ...]] = None
+
     def resolved_ixps(self) -> List[IXPSpec]:
         """The configured IXP specs (Table 2 defaults if not overridden)."""
         if self.ixps is not None:
             return self.ixps
         return default_euro_ixps(self.ixp_member_scale)
+
+    def resolved_phases(self) -> Tuple[str, ...]:
+        """The configured phase sequence (validated against the registry)."""
+        names = self.phases if self.phases is not None else DEFAULT_PHASE_ORDER
+        unknown = [name for name in names if name not in PHASES]
+        if unknown:
+            raise ValueError(
+                f"unknown generation phases {unknown!r} "
+                f"(available: {sorted(PHASES)})")
+        return tuple(names)
 
     @property
     def num_transit(self) -> int:
@@ -163,7 +165,7 @@ class GeneratorConfig:
 
     @property
     def num_content(self) -> int:
-        return max(10, int(110 * self.scale))
+        return max(10, int(110 * self.scale * self.content_multiplier))
 
 
 @dataclass
@@ -206,430 +208,31 @@ class GeneratedInternet:
 
 
 class InternetGenerator:
-    """Build a :class:`GeneratedInternet` from a :class:`GeneratorConfig`."""
+    """Build a :class:`GeneratedInternet` by running the configured phases."""
 
     def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
         self.config = config or GeneratorConfig()
         self._rng = random.Random(self.config.seed)
-        self._prefix_counter = 0
-
-    # -- public API -------------------------------------------------------------
 
     def generate(self) -> GeneratedInternet:
         """Generate the full synthetic ecosystem."""
         config = self.config
-        graph = ASGraph()
-        ixp_specs = config.resolved_ixps()
-
-        tier1, transit, regional, stubs, content, hypergiants = self._allocate_ases(graph)
-        self._build_hierarchy(graph, tier1, transit, regional, stubs, content, hypergiants)
-        self._add_sibling_links(graph)
-        self._add_bilateral_backbone_peering(graph, transit, regional)
-        self._assign_prefixes(graph)
-        self._assign_policies(graph, tier1, transit, regional, stubs, content, hypergiants)
-
-        self._assign_ixp_memberships(graph, ixp_specs, hypergiants)
-        private_peering = self._private_peering(graph, hypergiants)
-        export_intents = self._build_export_intents(
-            graph, ixp_specs, hypergiants, private_peering)
-        mlp_truth, hybrid_pairs = self._materialise_mlp_links(
-            graph, ixp_specs, export_intents)
-        bilateral_pairs = self._bilateral_ixp_peering(graph, ixp_specs)
-
-        return GeneratedInternet(
-            graph=graph,
+        state = GenerationState(
             config=config,
-            ixp_specs=ixp_specs,
-            export_intents=export_intents,
-            mlp_ground_truth=mlp_truth,
-            bilateral_ixp_pairs=bilateral_pairs,
-            hypergiants=hypergiants,
-            private_peering_pairs=private_peering,
-            hybrid_pairs=hybrid_pairs,
+            rng=self._rng,
+            graph=ASGraph(),
+            ixp_specs=config.resolved_ixps(),
         )
-
-    # -- AS population ------------------------------------------------------------
-
-    def _pick_region(self) -> str:
-        return self._rng.choices(
-            self.config.regions, weights=self.config.region_weights, k=1)[0]
-
-    def _allocate_ases(self, graph: ASGraph):
-        config = self.config
-        rng = self._rng
-
-        tier1: List[int] = []
-        for index in range(config.num_tier1):
-            asn = 100 + index
-            graph.add_as(ASNode(
-                asn=asn, name=f"Tier1-{index}", as_type=ASType.TIER1,
-                region="global", scope=GeographicScope.GLOBAL))
-            tier1.append(asn)
-
-        transit: List[int] = []
-        for index in range(config.num_transit):
-            asn = 1000 + index
-            graph.add_as(ASNode(
-                asn=asn, name=f"Transit-{index}", as_type=ASType.TRANSIT,
-                region=self._pick_region(),
-                scope=GeographicScope.EUROPE if rng.random() < 0.7
-                else GeographicScope.GLOBAL))
-            transit.append(asn)
-
-        regional: List[int] = []
-        for index in range(config.num_regional):
-            asn = 5000 + index
-            graph.add_as(ASNode(
-                asn=asn, name=f"Regional-{index}", as_type=ASType.REGIONAL,
-                region=self._pick_region(), scope=GeographicScope.REGIONAL))
-            regional.append(asn)
-
-        hypergiants: List[int] = []
-        for index in range(config.num_hypergiants):
-            asn = 15000 + index
-            graph.add_as(ASNode(
-                asn=asn, name=f"Hypergiant-{index}", as_type=ASType.CONTENT,
-                region="global", scope=GeographicScope.GLOBAL))
-            hypergiants.append(asn)
-
-        content: List[int] = []
-        for index in range(config.num_content):
-            asn = 16000 + index
-            graph.add_as(ASNode(
-                asn=asn, name=f"Content-{index}", as_type=ASType.CONTENT,
-                region=self._pick_region(), scope=GeographicScope.EUROPE))
-            content.append(asn)
-
-        stubs: List[int] = []
-        for index in range(config.num_stub):
-            if rng.random() < config.fraction_32bit_asn:
-                asn = 200000 + index
-            else:
-                asn = 30000 + index
-            graph.add_as(ASNode(
-                asn=asn, name=f"Stub-{index}", as_type=ASType.STUB,
-                region=self._pick_region(),
-                scope=GeographicScope.REGIONAL if rng.random() < 0.85
-                else GeographicScope.NOT_AVAILABLE))
-            stubs.append(asn)
-
-        return tier1, transit, regional, stubs, content, hypergiants
-
-    def _build_hierarchy(self, graph, tier1, transit, regional, stubs, content, hypergiants):
-        rng = self._rng
-
-        # Tier-1 full mesh of settlement-free peering.
-        for i, a in enumerate(tier1):
-            for b in tier1[i + 1:]:
-                graph.add_p2p(a, b)
-
-        def providers_from(pool: List[int], count: int, region: str) -> List[int]:
-            same_region = [p for p in pool if graph.get_as(p).region in (region, "global")]
-            candidates = same_region if len(same_region) >= count else pool
-            count = min(count, len(candidates))
-            return rng.sample(candidates, count) if count else []
-
-        for asn in transit:
-            node = graph.get_as(asn)
-            for provider in providers_from(tier1, rng.randint(1, 2), node.region):
-                graph.add_c2p(asn, provider)
-
-        for asn in regional:
-            node = graph.get_as(asn)
-            pool = transit + tier1
-            for provider in providers_from(pool, rng.randint(1, 3), node.region):
-                if not graph.has_link(asn, provider):
-                    graph.add_c2p(asn, provider)
-
-        for asn in hypergiants:
-            for provider in rng.sample(tier1, 2):
-                graph.add_c2p(asn, provider)
-
-        for asn in content:
-            node = graph.get_as(asn)
-            pool = transit + regional
-            for provider in providers_from(pool, rng.randint(1, 2), node.region):
-                if not graph.has_link(asn, provider):
-                    graph.add_c2p(asn, provider)
-
-        for asn in stubs:
-            node = graph.get_as(asn)
-            pool = regional + transit
-            for provider in providers_from(pool, rng.randint(1, 2), node.region):
-                if not graph.has_link(asn, provider):
-                    graph.add_c2p(asn, provider)
-
-    def _add_sibling_links(self, graph: ASGraph) -> None:
-        rng = self._rng
-        asns = graph.asns()
-        num_pairs = int(len(asns) * self.config.sibling_pair_fraction)
-        for _ in range(num_pairs):
-            a, b = rng.sample(asns, 2)
-            if not graph.has_link(a, b):
-                graph.add_link(ASLink(a, b, LinkType.SIBLING))
-
-    def _add_bilateral_backbone_peering(self, graph, transit, regional) -> None:
-        """Private (non-IXP) bilateral peering among transit/regional ASes."""
-        rng = self._rng
-        for i, a in enumerate(transit):
-            for b in transit[i + 1:]:
-                if graph.has_link(a, b):
-                    continue
-                same_region = graph.get_as(a).region == graph.get_as(b).region
-                if rng.random() < (0.25 if same_region else 0.08):
-                    graph.add_p2p(a, b)
-        for i, a in enumerate(regional):
-            for b in regional[i + 1:]:
-                if graph.has_link(a, b):
-                    continue
-                if graph.get_as(a).region != graph.get_as(b).region:
-                    continue
-                if rng.random() < 0.03:
-                    graph.add_p2p(a, b)
-
-    # -- prefixes -------------------------------------------------------------------
-
-    def _next_prefix(self, length: int = 24) -> Prefix:
-        index = self._prefix_counter
-        self._prefix_counter += 1
-        # Allocate /24s sequentially under 11.0.0.0/8, then 12.0.0.0/8, ...
-        base = 11 + (index >> 16)
-        network = (base << 24) | ((index & 0xFFFF) << 8)
-        return Prefix(network, length)
-
-    def _assign_prefixes(self, graph: ASGraph) -> None:
-        rng = self._rng
-        counts = {
-            ASType.TIER1: (10, 25),
-            ASType.TRANSIT: (4, 15),
-            ASType.REGIONAL: (2, 8),
-            ASType.CONTENT: (4, 14),
-            ASType.STUB: (1, 4),
-        }
-        for node in graph.nodes():
-            low, high = counts[node.as_type]
-            if node.name.startswith("Hypergiant"):
-                low, high = 20, 40
-            for _ in range(rng.randint(low, high)):
-                node.prefixes.append(self._next_prefix())
-
-    # -- policies ---------------------------------------------------------------------
-
-    def _assign_policies(self, graph, tier1, transit, regional, stubs, content, hypergiants):
-        rng = self._rng
-        open_frac, selective_frac, restrictive_frac = self.config.policy_fractions
-
-        def pick(weights: Tuple[float, float, float]) -> PeeringPolicy:
-            return rng.choices(
-                [PeeringPolicy.OPEN, PeeringPolicy.SELECTIVE, PeeringPolicy.RESTRICTIVE],
-                weights=weights, k=1)[0]
-
-        for asn in tier1:
-            graph.get_as(asn).policy = pick((0.05, 0.40, 0.55))
-        for asn in transit:
-            graph.get_as(asn).policy = pick((0.45, 0.45, 0.10))
-        for asn in regional:
-            graph.get_as(asn).policy = pick((open_frac, selective_frac, restrictive_frac))
-        for asn in content:
-            graph.get_as(asn).policy = pick((0.85, 0.13, 0.02))
-        for asn in stubs:
-            graph.get_as(asn).policy = pick((0.80, 0.17, 0.03))
-        for asn in hypergiants:
-            graph.get_as(asn).policy = PeeringPolicy.OPEN
-
-        for node in graph.nodes():
-            node.in_peeringdb = rng.random() < self.config.peeringdb_registration_rate
-            if node.name.startswith("Hypergiant") or node.as_type is ASType.TIER1:
-                node.in_peeringdb = True
-
-    # -- IXP membership ------------------------------------------------------------------
-
-    def _assign_ixp_memberships(self, graph: ASGraph, ixp_specs: List[IXPSpec],
-                                hypergiants: List[int]) -> None:
-        rng = self._rng
-        participation = self.config.rs_participation
-
-        for spec in ixp_specs:
-            same_region = [n.asn for n in graph.nodes()
-                           if n.region == spec.region and n.as_type is not ASType.TIER1]
-            europeans = [n.asn for n in graph.nodes()
-                         if n.region.startswith("eu") and n.asn not in same_region
-                         and n.as_type is not ASType.TIER1]
-            globals_ = [n.asn for n in graph.nodes()
-                        if n.region in ("global", "na", "asia")
-                        and not n.name.startswith("Hypergiant")]
-
-            members: Set[int] = set()
-            # Hypergiants show up at nearly every large IXP.
-            for giant in hypergiants:
-                if rng.random() < 0.9:
-                    members.add(giant)
-
-            rng.shuffle(same_region)
-            rng.shuffle(europeans)
-            rng.shuffle(globals_)
-            pools = [(same_region, 0.62), (europeans, 0.28), (globals_, 0.10)]
-            for pool, share in pools:
-                want = int(spec.target_members * share)
-                for asn in pool:
-                    if len(members) >= spec.target_members:
-                        break
-                    if want <= 0:
-                        break
-                    members.add(asn)
-                    want -= 1
-
-            for asn in members:
-                node = graph.get_as(asn)
-                node.ixps.add(spec.name)
-                policy_key = node.policy.value if node.policy is not PeeringPolicy.UNKNOWN \
-                    else "open"
-                probability = participation.get(policy_key, 0.7)
-                # The spec's own RS fraction modulates the policy-driven rate.
-                probability = min(0.98, probability * (spec.rs_fraction / 0.78))
-                if rng.random() < probability:
-                    node.rs_memberships.add(spec.name)
-
-    # -- export intents ----------------------------------------------------------------------
-
-    def _private_peering(self, graph: ASGraph, hypergiants: List[int]) -> Set[Tuple[int, int]]:
-        """Pairs with a direct private interconnect to a hypergiant (these
-        ASes later EXCLUDE the hypergiant at route servers, section 5.5)."""
-        rng = self._rng
-        pairs: Set[Tuple[int, int]] = set()
-        ixp_members = [n.asn for n in graph.nodes() if n.ixps]
-        for giant in hypergiants:
-            for asn in ixp_members:
-                if asn == giant:
-                    continue
-                if rng.random() < 0.06:
-                    pairs.add((min(asn, giant), max(asn, giant)))
-        return pairs
-
-    def _build_export_intents(
-        self,
-        graph: ASGraph,
-        ixp_specs: List[IXPSpec],
-        hypergiants: List[int],
-        private_peering: Set[Tuple[int, int]],
-    ) -> Dict[Tuple[str, int], ExportIntent]:
-        rng = self._rng
-        intents: Dict[Tuple[str, int], ExportIntent] = {}
-
-        for spec in ixp_specs:
-            members = graph.rs_members_of_ixp(spec.name)
-            member_set = set(members)
-            for asn in members:
-                node = graph.get_as(asn)
-                intents[(spec.name, asn)] = self._intent_for_member(
-                    node, member_set, graph, hypergiants, private_peering, rng)
-        return intents
-
-    def _intent_for_member(self, node, member_set, graph, hypergiants,
-                           private_peering, rng) -> ExportIntent:
-        others = sorted(member_set - {node.asn})
-        if not others:
-            return ExportIntent(MODE_ALL_EXCEPT, frozenset())
-
-        def pick_excludes(max_count: int) -> FrozenSet[int]:
-            count = rng.randint(0, max_count)
-            chosen: Set[int] = set()
-            # Prefer hypergiants reached over private interconnects.
-            for giant in hypergiants:
-                if giant in member_set and giant != node.asn:
-                    if (min(node.asn, giant), max(node.asn, giant)) in private_peering:
-                        if rng.random() < 0.75:
-                            chosen.add(giant)
-            # Occasionally a provider blocks a co-located customer.
-            customers_here = [c for c in graph.customers(node.asn) if c in member_set]
-            if customers_here and rng.random() < self.config.exclude_customer_probability:
-                chosen.add(rng.choice(customers_here))
-            while len(chosen) < count and len(chosen) < len(others):
-                chosen.add(rng.choice(others))
-            return frozenset(chosen)
-
-        def pick_includes(fraction_low: float, fraction_high: float,
-                          minimum: int = 1) -> FrozenSet[int]:
-            fraction = rng.uniform(fraction_low, fraction_high)
-            count = max(minimum, int(len(others) * fraction))
-            count = min(count, len(others))
-            return frozenset(rng.sample(others, count))
-
-        policy = node.policy
-        roll = rng.random()
-        if policy is PeeringPolicy.OPEN:
-            if roll < 0.78:
-                return ExportIntent(MODE_ALL_EXCEPT, frozenset())
-            if roll < 0.96:
-                return ExportIntent(MODE_ALL_EXCEPT, pick_excludes(5))
-            return ExportIntent(MODE_NONE_EXCEPT, pick_includes(0.70, 0.92))
-        if policy is PeeringPolicy.SELECTIVE:
-            if roll < 0.58:
-                return ExportIntent(MODE_ALL_EXCEPT, pick_excludes(8))
-            return ExportIntent(MODE_NONE_EXCEPT, pick_includes(0.05, 0.25))
-        # Restrictive networks that nonetheless joined the route server.
-        if roll < 0.30:
-            return ExportIntent(MODE_ALL_EXCEPT, pick_excludes(6))
-        return ExportIntent(MODE_NONE_EXCEPT,
-                            pick_includes(0.01, 0.08, minimum=1))
-
-    # -- multilateral / bilateral fabric --------------------------------------------------------
-
-    def _materialise_mlp_links(
-        self,
-        graph: ASGraph,
-        ixp_specs: List[IXPSpec],
-        intents: Dict[Tuple[str, int], ExportIntent],
-    ) -> Tuple[Dict[str, Set[Tuple[int, int]]], Dict[str, Set[Tuple[int, int]]]]:
-        mlp_truth: Dict[str, Set[Tuple[int, int]]] = {}
-        hybrid: Dict[str, Set[Tuple[int, int]]] = {}
-
-        for spec in ixp_specs:
-            members = graph.rs_members_of_ixp(spec.name)
-            pairs: Set[Tuple[int, int]] = set()
-            hybrid_pairs: Set[Tuple[int, int]] = set()
-            for i, a in enumerate(members):
-                intent_a = intents[(spec.name, a)]
-                for b in members[i + 1:]:
-                    intent_b = intents[(spec.name, b)]
-                    if not (intent_a.allows(b) and intent_b.allows(a)):
-                        continue
-                    pair = (a, b)
-                    pairs.add(pair)
-                    existing = graph.get_link(a, b)
-                    if existing is None:
-                        graph.add_p2p(a, b, ixp=spec.name, multilateral=True)
-                    elif existing.link_type is LinkType.C2P:
-                        hybrid_pairs.add(pair)
-            mlp_truth[spec.name] = pairs
-            hybrid[spec.name] = hybrid_pairs
-        return mlp_truth, hybrid
-
-    def _bilateral_ixp_peering(
-        self, graph: ASGraph, ixp_specs: List[IXPSpec]
-    ) -> Dict[str, Set[Tuple[int, int]]]:
-        """Bilateral sessions across the IXP fabric (not via the RS).
-
-        These are the links the paper acknowledges its method cannot see
-        (section 5.8); mostly established by members that stayed off the
-        route server, plus a few selective RS members.
-        """
-        rng = self._rng
-        result: Dict[str, Set[Tuple[int, int]]] = {}
-        for spec in ixp_specs:
-            members = graph.members_of_ixp(spec.name)
-            rs_members = set(graph.rs_members_of_ixp(spec.name))
-            pairs: Set[Tuple[int, int]] = set()
-            non_rs = [m for m in members if m not in rs_members]
-            for a in non_rs:
-                # Selective bilateral peers connect to a handful of others.
-                candidates = [m for m in members if m != a]
-                if not candidates:
-                    continue
-                for b in rng.sample(candidates, min(len(candidates), rng.randint(1, 6))):
-                    pair = (min(a, b), max(a, b))
-                    pairs.add(pair)
-                    if not graph.has_link(a, b):
-                        graph.add_p2p(a, b, ixp=spec.name, multilateral=False)
-            result[spec.name] = pairs
-        return result
+        for name in config.resolved_phases():
+            PHASES[name](state)
+        return GeneratedInternet(
+            graph=state.graph,
+            config=config,
+            ixp_specs=state.ixp_specs,
+            export_intents=state.export_intents,
+            mlp_ground_truth=state.mlp_ground_truth,
+            bilateral_ixp_pairs=state.bilateral_ixp_pairs,
+            hypergiants=state.hypergiants,
+            private_peering_pairs=state.private_peering,
+            hybrid_pairs=state.hybrid_pairs,
+        )

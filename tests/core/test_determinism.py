@@ -125,6 +125,21 @@ class TestResultOrderingDeterminism:
         result.per_ixp["DE-CIX"] = inference
         assert list(result.peer_counts()) == [1, 2, 3, 5, 9]
 
+    def test_covered_members_is_sorted_tuple(self):
+        inference = IXPInference(ixp_name="DE-CIX")
+        inference.reachabilities = {member: object()
+                                    for member in (9, 1, 5, 3)}
+        assert inference.covered_members() == (1, 3, 5, 9)
+
+    def test_all_member_asns_is_sorted_tuple(self):
+        result = MLPInferenceResult()
+        for name, links in (("DE-CIX", ((3, 9), (1, 2))),
+                            ("LINX", ((2, 7),))):
+            inference = IXPInference(ixp_name=name)
+            inference.links = links
+            result.per_ixp[name] = inference
+        assert result.all_member_asns() == (1, 2, 3, 7, 9)
+
 
 class TestSetterCacheScoping:
     """The passive setter memo is strictly per-instance: its entries

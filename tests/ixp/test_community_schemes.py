@@ -142,3 +142,87 @@ class TestRegistry:
         matches = classify_against_schemes([Community(6695, 6695)], registry)
         assert "DE-CIX" in matches
         assert "ECIX" not in matches
+
+
+class TestFromStyleEdgeCases:
+    def test_unknown_style_names_the_offender(self):
+        with pytest.raises(ValueError, match="sideways"):
+            CommunityScheme.from_style("sideways", "X", 100)
+
+    @pytest.mark.parametrize("style", ["rs-asn", "zero-exclude", "offset"])
+    def test_32bit_rs_asn_rejected_for_every_style(self, style):
+        with pytest.raises(ValueError, match="16 bits"):
+            CommunityScheme.from_style(style, "X", 200000)
+
+    def test_styles_produce_distinct_grammars(self):
+        rs, zero, offset = (CommunityScheme.from_style(style, "X", 100)
+                            for style in ("rs-asn", "zero-exclude", "offset"))
+        assert rs.exclude_high == zero.exclude_high == 0
+        assert offset.exclude_high == 64960
+        assert not rs.omit_all_by_default
+        assert zero.omit_all_by_default
+
+
+class TestClassificationCollisions:
+    """ASN values colliding with the scheme's fixed-valued communities:
+    the fixed forms (ALL / NONE) must win over the per-peer readings."""
+
+    def test_rs_asn_style_exclude_of_rs_asn_reads_as_none(self, decix):
+        # EXCLUDE(6695) encodes as 0:6695, which *is* the NONE community.
+        collision = decix.exclude(6695)
+        assert collision == decix.none()
+        assert decix.classify(collision).action is RSAction.NONE
+
+    def test_offset_style_include_of_zero_reads_as_none(self, ecix):
+        # INCLUDE(0) encodes as 65000:0, which *is* the NONE community.
+        collision = ecix.include(0)
+        assert collision == ecix.none()
+        assert ecix.classify(collision).action is RSAction.NONE
+
+    def test_offset_style_rs_asn_colliding_with_exclude_high(self):
+        # An RS ASN equal to the EXCLUDE offset: ALL (64960:64960) must
+        # not be mis-read as EXCLUDE(64960).
+        scheme = CommunityScheme.offset_style("WEIRD-IX", 64960)
+        all_classified = scheme.classify(Community(64960, 64960))
+        assert all_classified.action is RSAction.ALL
+        # Other 64960:* values still classify as per-peer EXCLUDEs.
+        excl = scheme.classify(Community(64960, 7))
+        assert excl.action is RSAction.EXCLUDE and excl.peer_asn == 7
+
+    def test_offset_style_peer_equal_to_include_high(self, ecix):
+        # INCLUDE(65000) is representable and classifies as an include.
+        community = ecix.include(65000)
+        classified = ecix.classify(community)
+        assert classified.action is RSAction.INCLUDE
+        assert classified.peer_asn == 65000
+
+
+class TestZeroExcludeRoundTrip:
+    @pytest.fixture
+    def mskix(self):
+        return CommunityScheme.zero_exclude_style("MSK-IX", 8631)
+
+    def test_round_trip_recovers_excluded_peers(self, mskix):
+        encoded = mskix.encode_policy("all-except", [5410, 8732])
+        classified = mskix.classify_set(encoded)
+        assert {c.peer_asn for _, c in classified
+                if c.action is RSAction.EXCLUDE} == {5410, 8732}
+        # No ALL marker -> the RS ASN never appears: the section 4.2
+        # disambiguation path has to work without it.
+        assert not mskix.mentions_rs_asn(encoded)
+
+    def test_empty_policy_round_trips_to_no_communities(self, mskix):
+        encoded = mskix.encode_policy("all-except", [])
+        assert encoded == frozenset()
+        assert mskix.classify_set(encoded) == []
+
+    def test_forced_all_marker_restores_rs_asn_signal(self, mskix):
+        encoded = mskix.encode_policy("all-except", [5410],
+                                      include_all_marker=True)
+        assert mskix.all_() in encoded
+        assert mskix.mentions_rs_asn(encoded)
+
+    def test_none_except_unaffected_by_omission_default(self, mskix):
+        encoded = mskix.encode_policy("none-except", [5410])
+        actions = {c.action for _, c in mskix.classify_set(encoded)}
+        assert actions == {RSAction.NONE, RSAction.INCLUDE}

@@ -1,0 +1,69 @@
+"""The composable generation phases behind the synthetic Internet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+from repro.topology.phases import DEFAULT_PHASE_ORDER, PHASES
+
+
+class TestPhaseRegistry:
+    def test_default_order_covers_registry(self):
+        assert set(DEFAULT_PHASE_ORDER) == set(PHASES)
+        assert DEFAULT_PHASE_ORDER[0] == "allocate-ases"
+        assert DEFAULT_PHASE_ORDER[-1] == "bilateral-ixp"
+
+    def test_unknown_phase_rejected(self):
+        config = GeneratorConfig(phases=("allocate-ases", "terraform"))
+        with pytest.raises(ValueError, match="unknown generation phases"):
+            config.resolved_phases()
+
+    def test_default_phases_resolve(self):
+        assert GeneratorConfig().resolved_phases() == DEFAULT_PHASE_ORDER
+
+
+class TestPhaseSelection:
+    def test_topology_only_subset_skips_ixp_fabric(self):
+        config = GeneratorConfig(
+            seed=11, scale=0.1, ixp_member_scale=0.1,
+            phases=("allocate-ases", "hierarchy", "prefixes", "policies"))
+        internet = InternetGenerator(config).generate()
+        assert len(internet.graph) > 0
+        assert internet.export_intents == {}
+        assert internet.mlp_ground_truth == {}
+        assert all(not node.ixps for node in internet.graph.nodes())
+
+    def test_subset_prefix_matches_full_run_draws(self):
+        """Phases draw from one shared stream: a prefix of the phase
+        sequence produces exactly the same early state as a full run."""
+        kwargs = dict(seed=23, scale=0.1, ixp_member_scale=0.1)
+        full = InternetGenerator(GeneratorConfig(**kwargs)).generate()
+        prefix = InternetGenerator(GeneratorConfig(
+            **kwargs, phases=DEFAULT_PHASE_ORDER[:5])).generate()
+        assert {n.asn for n in prefix.graph.nodes()} == \
+            {n.asn for n in full.graph.nodes()}
+        assert {n.asn: [str(p) for p in n.prefixes]
+                for n in prefix.graph.nodes()} == \
+            {n.asn: [str(p) for p in n.prefixes]
+             for n in full.graph.nodes()}
+
+
+class TestPhaseKnobs:
+    def test_zero_private_peering_probability(self):
+        config = GeneratorConfig(seed=5, scale=0.1, ixp_member_scale=0.1,
+                                 hypergiant_private_peering_probability=0.0)
+        internet = InternetGenerator(config).generate()
+        assert internet.private_peering_pairs == set()
+
+    def test_hypergiant_presence_zero_keeps_giants_off_ixps(self):
+        config = GeneratorConfig(seed=5, scale=0.1, ixp_member_scale=0.1,
+                                 hypergiant_ixp_presence=0.0)
+        internet = InternetGenerator(config).generate()
+        for giant in internet.hypergiants:
+            assert not internet.graph.get_as(giant).ixps
+
+    def test_content_multiplier_scales_population(self):
+        base = GeneratorConfig(seed=5, scale=0.3)
+        heavy = GeneratorConfig(seed=5, scale=0.3, content_multiplier=3.0)
+        assert heavy.num_content == 3 * base.num_content
