@@ -1,0 +1,89 @@
+"""Backend matrix: frontier vs batched propagation, timed and verified.
+
+Two things at once, per scenario size:
+
+* **equivalence** — the batched backend's recorded fragments must be
+  bit-identical to the frontier engine's (content and order, best and
+  offered routes) on the measurement surface the scenario actually
+  records at;
+* **speed** — the same propagation workload is timed per backend, so
+  the trajectory JSON captures the batched engine's speedup next to
+  every other bench.
+
+`benchmarks/run_all.py` additionally records per-backend wall times for
+every registered scenario in the ``backend_matrix`` section of
+``BENCH_<date>.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.propagation import OriginSpec
+from repro.pipeline import ArtifactCache, ScenarioRun
+from repro.runtime.batched import numpy_available
+from repro.scenarios.spec import get_scenario
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="batched backend requires numpy")
+
+
+def propagation_workload(size: str):
+    """The scenario's real propagation workload: its context, every
+    prefix-announcing origin, and the recorded observer surface."""
+    spec = get_scenario("europe2013")
+    run = ScenarioRun(spec.config(size), cache=ArtifactCache())
+    scenario = run.scenario()
+    graph = scenario.graph
+    origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
+               for node in graph.nodes() if node.prefixes]
+    observers = [vp.asn for vp in scenario.vantage_points]
+    alternatives = [lg.asn for lg in scenario.validation_lgs]
+    return scenario.context, origins, observers, alternatives
+
+
+def run_backend(context, origins, observers, alternatives, backend):
+    context.clear_propagation_cache()
+    engine = context.engine(record_at=observers,
+                            record_alternatives_at=alternatives,
+                            backend=backend)
+    return engine.batch_fragments(origins)
+
+
+def fragment_key(routes):
+    return [(r.asn, r.path, r.communities, r.provenance, r.learned_from)
+            for r in routes]
+
+
+@requires_numpy
+@pytest.mark.parametrize("size", ["tiny", "bench"])
+def test_batched_fragments_bit_identical(size):
+    """Acceptance: batched == frontier on the scenario's full origin set
+    at tiny and bench sizes (exact fragments, best and offered)."""
+    workload = propagation_workload(size)
+    frontier = run_backend(*workload, backend="frontier")
+    batched = run_backend(*workload, backend="batched")
+    assert len(frontier) == len(batched)
+    for got_f, got_b in zip(frontier, batched):
+        assert fragment_key(got_f[0]) == fragment_key(got_b[0])
+        assert fragment_key(got_f[1]) == fragment_key(got_b[1])
+
+
+@pytest.mark.parametrize("backend", ["frontier", "batched"])
+def test_propagation_backend_throughput(benchmark, backend):
+    """Bench-size propagation, one timed run per backend (compare the
+    two rows in the benchmark table / BENCH trajectory)."""
+    if backend == "batched" and not numpy_available():
+        pytest.skip("batched backend requires numpy")
+    context, origins, observers, alternatives = propagation_workload("bench")
+    # Warm the per-topology plan/union tables so the timed rounds
+    # measure sweeps, exactly like a warm scenario re-run.
+    run_backend(context, origins, observers, alternatives, backend)
+
+    def propagate():
+        return run_backend(context, origins, observers, alternatives,
+                           backend)
+
+    fragments = benchmark.pedantic(propagate, rounds=3, iterations=1)
+    assert len(fragments) == len(origins)
+    assert any(best for best, _offered in fragments)

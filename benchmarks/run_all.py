@@ -135,6 +135,80 @@ def run_scenario_matrix(size: str = "tiny") -> list[dict]:
     return rows
 
 
+def run_backend_matrix(size: str = "tiny",
+                       bench_scenario: str = "europe2013") -> list[dict]:
+    """Time frontier vs batched propagation per registered scenario.
+
+    Every scenario is measured at *size*; *bench_scenario* additionally
+    at the ``bench`` size (the acceptance target).  Each row records
+    per-backend wall seconds over the scenario's real propagation
+    workload (origins x recorded observers, warm plan) plus the batched
+    speedup and a link-equality verdict, so the BENCH trajectory tracks
+    both the speedup and the backends' agreement across PRs.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bgp.propagation import OriginSpec
+    from repro.pipeline import ArtifactCache, ScenarioRun
+    from repro.runtime.batched import numpy_available
+    from repro.scenarios import scenario_names
+    from repro.scenarios.spec import get_scenario
+
+    if not numpy_available():
+        print("[run_all] backend matrix skipped (numpy unavailable)")
+        return []
+
+    jobs = [(name, size) for name in scenario_names()]
+    jobs.append((bench_scenario, "bench"))
+    rows: list[dict] = []
+    for name, job_size in jobs:
+        spec = get_scenario(name)
+        run = ScenarioRun(spec.config(job_size), scenario=name,
+                          cache=ArtifactCache())
+        scenario = run.scenario()
+        context = scenario.context
+        origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
+                   for node in scenario.graph.nodes() if node.prefixes]
+        observers = [vp.asn for vp in scenario.vantage_points]
+        alternatives = [lg.asn for lg in scenario.validation_lgs]
+
+        def propagate(backend):
+            context.clear_propagation_cache()
+            engine = context.engine(record_at=observers,
+                                    record_alternatives_at=alternatives,
+                                    backend=backend)
+            return engine.propagate(origins)
+
+        timings: dict[str, float] = {}
+        results = {}
+        for backend in ("frontier", "batched"):
+            propagate(backend)  # warm plan / interners
+            best = float("inf")
+            for _ in range(3):
+                started = time.monotonic()
+                results[backend] = propagate(backend)
+                best = min(best, time.monotonic() - started)
+            timings[backend] = round(best, 4)
+        links_equal = (results["frontier"].visible_links()
+                       == results["batched"].visible_links())
+        row = {
+            "scenario": name,
+            "size": job_size,
+            "origins": len(origins),
+            "nodes": context.index.num_nodes,
+            "frontier_seconds": timings["frontier"],
+            "batched_seconds": timings["batched"],
+            "speedup": round(timings["frontier"]
+                             / max(timings["batched"], 1e-9), 2),
+            "links_equal": links_equal,
+        }
+        print(f"[run_all] backend {name} ({job_size}): "
+              f"frontier {row['frontier_seconds']}s, "
+              f"batched {row['batched_seconds']}s "
+              f"({row['speedup']}x, links_equal={links_equal})", flush=True)
+        rows.append(row)
+    return rows
+
+
 def find_previous_trajectory(exclude: Path) -> Path | None:
     """The most recent prior ``BENCH_<ISO date>.json`` (by dated name).
 
@@ -204,6 +278,8 @@ def main() -> int:
                         help="per-bench timeout in seconds")
     parser.add_argument("--skip-scenario-matrix", action="store_true",
                         help="do not run the per-scenario tiny matrix")
+    parser.add_argument("--skip-backend-matrix", action="store_true",
+                        help="do not run the frontier-vs-batched matrix")
     parser.add_argument("--matrix-size", default="tiny",
                         help="size-table row for the scenario matrix")
     args = parser.parse_args()
@@ -226,6 +302,10 @@ def main() -> int:
     if not args.skip_scenario_matrix:
         scenario_rows = run_scenario_matrix(args.matrix_size)
 
+    backend_rows: list[dict] = []
+    if not args.skip_backend_matrix:
+        backend_rows = run_backend_matrix(args.matrix_size)
+
     today = datetime.date.today().isoformat()
     out_path = args.out or (REPO_ROOT / f"BENCH_{today}.json")
     previous_path = find_previous_trajectory(exclude=out_path)
@@ -235,6 +315,7 @@ def main() -> int:
         "platform": platform.platform(),
         "benches": results,
         "scenarios": scenario_rows,
+        "backend_matrix": backend_rows,
     }
     out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"[run_all] wrote {out_path}")
@@ -248,6 +329,8 @@ def main() -> int:
     if any(r["returncode"] != 0 for r in results):
         return 1
     if any(not row["ok"] for row in scenario_rows):
+        return 1
+    if any(not row["links_equal"] for row in backend_rows):
         return 1
     return 3 if warnings else 0
 

@@ -49,21 +49,41 @@ from repro.runtime.frontier import (
     CLASS_ORIGIN,
     CLASS_PEER,
     CLASS_PROVIDER,
+    REL_CUSTOMER,
+    REL_PEER,
+    REL_PROVIDER,
+    REL_RS_PEER,
+    REL_SIBLING,
     OriginState,
 )
 
 __all__ = [
     "Adjacency",
+    "BACKENDS",
+    "BATCH_SIZE",
     "CLASS_CUSTOMER",
     "CLASS_ORIGIN",
     "CLASS_PEER",
     "CLASS_PROVIDER",
+    "DEFAULT_BACKEND",
     "OriginSpec",
     "PropagatedRoute",
     "PropagationEngine",
     "PropagationResult",
+    "adjacencies_from_index",
     "bidirectional_adjacencies",
 ]
+
+#: The selectable propagation backends: the per-origin frontier BFS
+#: (default, dependency-free), the vectorized batched multi-origin
+#: engine (numpy) and the object-graph reference oracle.
+BACKENDS = ("frontier", "batched", "reference")
+DEFAULT_BACKEND = "frontier"
+
+#: Origins propagated per vectorized sweep by the batched backend; caps
+#: the (origins x nodes) state arrays (6 int64 planes plus scratch) at
+#: tens of MB per batch on large topologies.
+BATCH_SIZE = 128
 
 _CLASS_NAMES = {
     CLASS_ORIGIN: "origin",
@@ -252,6 +272,14 @@ class PropagationEngine:
         stores, scratch arrays and per-origin route memoisation with
         every other engine created from the same context; when omitted a
         private context is built from *adjacencies*.
+    backend:
+        Which propagation data plane answers queries: ``"frontier"``
+        (per-origin bucket-queue BFS, the default), ``"batched"`` (the
+        vectorized multi-origin engine of
+        :mod:`repro.runtime.batched`) or ``"reference"`` (the
+        object-graph oracle).  ``None`` inherits the context's backend.
+        All backends produce equivalent routes; memoised fragments are
+        keyed per backend so they never alias.
     """
 
     def __init__(
@@ -260,6 +288,7 @@ class PropagationEngine:
         record_at: Optional[Iterable[int]] = None,
         record_alternatives_at: Optional[Iterable[int]] = None,
         context=None,
+        backend: Optional[str] = None,
     ) -> None:
         if context is None:
             if adjacencies is None:
@@ -271,19 +300,31 @@ class PropagationEngine:
             raise ValueError(
                 "pass either adjacencies or a context with a built index, "
                 "not both")
+        if backend is None:
+            backend = getattr(context, "backend", DEFAULT_BACKEND)
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown propagation backend {backend!r} "
+                f"(choose from {BACKENDS})")
         self._ctx = context
         self._index = context.index
         self._bags = context.bags
         self._paths = context.paths
+        self._backend = backend
+        self._batched = None
+        self._reference = None
+        self._record_mask = None
         self._record_at = set(record_at) if record_at is not None else None
         self._record_alt_at = set(record_alternatives_at or ())
         id_of = self._index.id_of
         self._alt_nodes = frozenset(
             id_of[asn] for asn in self._record_alt_at if asn in id_of)
-        #: memoisation signature: same record config -> shareable fragments.
+        #: memoisation signature: same record config *and backend* ->
+        #: shareable fragments (backends never alias cache entries).
         self._record_sig = (
             frozenset(self._record_at) if self._record_at is not None else None,
             frozenset(self._record_alt_at),
+            backend,
         )
 
     # -- public API ----------------------------------------------------------
@@ -293,16 +334,27 @@ class PropagationEngine:
         """The :class:`PipelineContext` the engine runs on."""
         return self._ctx
 
+    @property
+    def backend(self) -> str:
+        """The propagation backend this engine answers with."""
+        return self._backend
+
     def nodes(self) -> Set[int]:
         """All ASNs known to the engine."""
         return set(self._index.node_asns)
 
     def propagate(self, origins: Iterable[OriginSpec]) -> PropagationResult:
         """Propagate every origin and return the recorded routes."""
+        origins = list(origins)
         result = PropagationResult()
-        for spec in origins:
+        for spec, (best_routes, offered_routes) in zip(
+                origins, self.batch_fragments(origins)):
             result._record_origin(spec)
-            self._propagate_one(spec, result)
+            origin = spec.asn
+            for route in best_routes:
+                result._record_best(origin, route)
+            for route in offered_routes:
+                result._record_alternative(origin, route)
         return result
 
     def propagate_origin(self, spec: OriginSpec) -> PropagationResult:
@@ -311,64 +363,164 @@ class PropagationEngine:
 
     # -- internals -----------------------------------------------------------
 
-    def _propagate_one(self, spec: OriginSpec, result: PropagationResult) -> None:
-        best_routes, offered_routes = self.origin_fragments(spec)
-        origin = spec.asn
-        for route in best_routes:
-            result._record_best(origin, route)
-        for route in offered_routes:
-            result._record_alternative(origin, route)
-
     def origin_fragments(
         self, spec: OriginSpec
     ) -> Tuple[List[PropagatedRoute], List[PropagatedRoute]]:
-        """The recorded (best, offered) routes for one origin.
+        """The recorded (best, offered) routes for one origin."""
+        return self.batch_fragments([spec])[0]
+
+    def batch_fragments(
+        self, specs: Sequence[OriginSpec]
+    ) -> List[Tuple[List[PropagatedRoute], List[PropagatedRoute]]]:
+        """The recorded (best, offered) routes for a batch of origins.
 
         This is the unit of work the sharded pipeline distributes across
         worker processes: fragments are plain materialised routes, safe
         to pickle and to merge into a :class:`PropagationResult` in any
-        process.
+        process.  Under the batched backend the cache misses of the
+        whole batch are propagated together in :data:`BATCH_SIZE` groups
+        of vectorized sweeps; the frontier and reference backends
+        resolve them one origin at a time.
         """
-        origin = spec.asn
-        origin_bag = self._bags.intern(frozenset(spec.communities)) \
-            if spec.communities else self._bags.EMPTY
-        recordable = self._record_at
-        origin_node = self._index.id_of.get(origin)
-
-        if origin_node is None:
-            # Origin is isolated; it still holds its own route.
-            if recordable is None or origin in recordable:
-                return [PropagatedRoute(
-                    asn=origin,
-                    path=(origin,),
-                    communities=self._bags.value(origin_bag),
-                    provenance=CLASS_ORIGIN,
-                    learned_from=None,
-                )], []
-            return [], []
+        specs = list(specs)
+        results: List[Optional[Tuple]] = [None] * len(specs)
 
         # Memoise per-origin fragments only when recording is bounded to
         # explicit observers: a record-everything engine would pin
         # O(origins x nodes) materialised routes to the shared context.
         memoizable = self._record_at is not None
         cache = self._ctx.route_cache
-        key = (origin, origin_bag, self._record_sig)
-        fragments = cache.get(key) if memoizable else None
-        if fragments is None:
-            state = self._ctx.propagator.run(
-                origin_node, origin_bag, self._alt_nodes)
-            fragments = self._materialize(state)
-            if memoizable:
-                cache[key] = fragments
-        return fragments
+        recordable = self._record_at
+        pending: List[Tuple[int, int, int, Tuple]] = []
+        for position, spec in enumerate(specs):
+            origin = spec.asn
+            origin_bag = self._bags.intern(frozenset(spec.communities)) \
+                if spec.communities else self._bags.EMPTY
+            origin_node = self._index.id_of.get(origin)
+            if origin_node is None:
+                # Origin is isolated; it still holds its own route.
+                if recordable is None or origin in recordable:
+                    results[position] = ([PropagatedRoute(
+                        asn=origin,
+                        path=(origin,),
+                        communities=self._bags.value(origin_bag),
+                        provenance=CLASS_ORIGIN,
+                        learned_from=None,
+                    )], [])
+                else:
+                    results[position] = ([], [])
+                continue
+            key = (origin, origin_bag, self._record_sig)
+            fragments = cache.get(key) if memoizable else None
+            if fragments is not None:
+                results[position] = fragments
+            else:
+                pending.append((position, origin_node, origin_bag, key))
+
+        if pending:
+            computed = self._compute_fragments(
+                [entry[1] for entry in pending],
+                [entry[2] for entry in pending],
+                [specs[entry[0]] for entry in pending])
+            for (position, _node, _bag, key), fragments in zip(
+                    pending, computed):
+                results[position] = fragments
+                if memoizable:
+                    cache[key] = fragments
+        return results
+
+    def _compute_fragments(self, origin_nodes, origin_bags,
+                           pending_specs) -> List[Tuple]:
+        """Run the selected backend over the uncached origins (the
+        three argument lists are parallel, cache hits and isolated
+        origins already filtered out)."""
+        if self._backend == "batched":
+            mask = self._record_node_mask()
+            fragments: List[Tuple] = []
+            for start in range(0, len(origin_nodes), BATCH_SIZE):
+                batch = self._batched_propagator().run_batch(
+                    origin_nodes[start:start + BATCH_SIZE],
+                    origin_bags[start:start + BATCH_SIZE],
+                    self._alt_nodes)
+                # Touched nodes pre-filtered to the recorded set (a
+                # vectorized mask) and every recorded path materialised
+                # in one bulk chain walk, so the per-route loop below
+                # only assembles objects.
+                import numpy as np
+                touched = [batch.touched_nodes(row, mask)
+                           for row in range(batch.num_origins)]
+                pid_chunks = [batch.pid[row][nodes]
+                              for row, nodes in enumerate(touched) if nodes]
+                offer_pids = [offer[4]
+                              for row in range(batch.num_origins)
+                              for offer in batch.offers[row]]
+                if offer_pids:
+                    pid_chunks.append(np.asarray(offer_pids,
+                                                 dtype=np.int64))
+                if pid_chunks:
+                    batch.paths.materialize_many(
+                        np.concatenate(pid_chunks))
+                for row in range(batch.num_origins):
+                    state = OriginState(
+                        batch.cls[row], batch.length[row], batch.frm[row],
+                        batch.pid[row], batch.bag[row],
+                        touched[row], batch.offers[row])
+                    fragments.append(
+                        self._materialize(state, paths=batch.paths))
+            return fragments
+        if self._backend == "reference":
+            return [self._reference_fragments(spec)
+                    for spec in pending_specs]
+        propagator = self._ctx.propagator
+        return [self._materialize(propagator.run(node, bag, self._alt_nodes))
+                for node, bag in zip(origin_nodes, origin_bags)]
+
+    def _batched_propagator(self):
+        if self._batched is None:
+            from repro.runtime.batched import BatchedPropagator
+            self._batched = BatchedPropagator(self._ctx.plan, self._bags)
+        return self._batched
+
+    def _record_node_mask(self):
+        """Boolean node mask of the recorded observers (None = all)."""
+        if self._record_at is None:
+            return None
+        if self._record_mask is None:
+            import numpy as np
+            mask = np.zeros(self._index.num_nodes, dtype=bool)
+            id_of = self._index.id_of
+            for asn in self._record_at:
+                node = id_of.get(asn)
+                if node is not None:
+                    mask[node] = True
+            self._record_mask = mask
+        return self._record_mask
+
+    def _reference_fragments(self, spec: OriginSpec) -> Tuple:
+        """One origin through the object-graph oracle, as fragments."""
+        if self._reference is None:
+            from repro.bgp.reference_propagation import (
+                ReferencePropagationEngine,
+            )
+            self._reference = ReferencePropagationEngine(
+                adjacencies_from_index(self._index),
+                record_at=self._record_at,
+                record_alternatives_at=self._record_alt_at)
+        result = self._reference.propagate_origin(spec)
+        origin = spec.asn
+        best = [routes[origin] for routes in result._best.values()
+                if origin in routes]
+        offered = [route for routes in result._alternatives.values()
+                   for route in routes.get(origin, ())]
+        return best, offered
 
     def _materialize(
-        self, state: OriginState
+        self, state: OriginState, paths=None
     ) -> Tuple[List[PropagatedRoute], List[PropagatedRoute]]:
         """Convert interned per-node state into routes for the recorded
         observers — the only place ids become ASNs/tuples again."""
         node_asns = self._index.node_asns
-        materialize = self._paths.materialize
+        materialize = (paths if paths is not None else self._paths).materialize
         bag_value = self._bags.value
         recordable = self._record_at
 
@@ -383,7 +535,7 @@ class PropagationEngine:
                 asn=asn,
                 path=materialize(pid[node]),
                 communities=bag_value(bag[node]),
-                provenance=cls_[node],
+                provenance=int(cls_[node]),
                 learned_from=node_asns[learned] if learned >= 0 else None,
             ))
 
@@ -418,3 +570,49 @@ def bidirectional_adjacencies(
         Adjacency(source=asn_a, target=asn_b, relationship=rel_ab.inverse()),
         Adjacency(source=asn_b, target=asn_a, relationship=rel_ab),
     ]
+
+
+_REL_OF_CODE = {
+    REL_CUSTOMER: Relationship.CUSTOMER,
+    REL_PROVIDER: Relationship.PROVIDER,
+    REL_PEER: Relationship.PEER,
+    REL_RS_PEER: Relationship.RS_PEER,
+    REL_SIBLING: Relationship.SIBLING,
+}
+
+
+def adjacencies_from_index(index) -> List[Adjacency]:
+    """Reconstruct directed :class:`Adjacency` records from a CSR index.
+
+    The semantic inverse of
+    :meth:`~repro.runtime.csr.CSRIndex.from_adjacencies`, used to hand a
+    context-built topology to the object-graph reference backend (which
+    consumes adjacency records, not indices).  Sibling edges appear in
+    both the customer and provider phase blocks and are emitted once; a
+    transparent route server is reconstructed as ``via_rs_asn=None``,
+    which is indistinguishable in propagation semantics.
+    """
+    node_asns = index.node_asns
+    bag_value = index.bags.value
+    adjacencies: List[Adjacency] = []
+    # Customer + peer phases cover every relationship except PROVIDER
+    # (siblings are deduplicated out of the provider phase).
+    for phase, skip_siblings in ((index.customer_edges, False),
+                                 (index.peer_edges, False),
+                                 (index.provider_edges, True)):
+        indptr, targets, rels, bags, vias = phase
+        for source in range(index.num_nodes):
+            for edge in range(indptr[source], indptr[source + 1]):
+                rel = rels[edge]
+                if skip_siblings and rel == REL_SIBLING:
+                    continue
+                via = vias[edge]
+                adjacencies.append(Adjacency(
+                    source=node_asns[source],
+                    target=node_asns[targets[edge]],
+                    relationship=_REL_OF_CODE[rel],
+                    communities=bag_value(bags[edge]),
+                    via_rs_asn=via if via >= 0 else None,
+                    rs_transparent=via < 0,
+                ))
+    return adjacencies

@@ -171,6 +171,7 @@ class MLPInferenceEngine:
         sample_fraction: float = 0.10,
         max_prefixes_per_member: int = 100,
         context: Optional[PipelineContext] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.registry = registry
         self.rs_members: Dict[str, Set[int]] = {
@@ -183,6 +184,11 @@ class MLPInferenceEngine:
         #: Optional shared runtime context; when present its cached
         #: member bitset indices are reused across run() invocations.
         self.context = context
+        #: Propagation backend of the measurement substrate this engine
+        #: consumes (provenance for reports/benchmarks; ``None`` falls
+        #: back to the context's backend, or "frontier").
+        self.backend = backend if backend is not None else getattr(
+            context, "backend", "frontier")
 
     # -- pipeline ---------------------------------------------------------------------
 

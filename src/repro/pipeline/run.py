@@ -104,16 +104,29 @@ class ScenarioRun:
         inference_options: Optional[InferenceOptions] = None,
         analysis_options: Optional[AnalysisOptions] = None,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
         cache: Optional[ArtifactCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         graph: Optional[StageGraph] = None,
     ) -> None:
+        from repro.bgp.propagation import BACKENDS, DEFAULT_BACKEND
         self.spec = _resolve_spec(scenario)
         self.config = config if config is not None else self.spec.config()
         self.inference_options = inference_options or InferenceOptions()
         self.analysis_options = analysis_options or AnalysisOptions(
             figures=self.spec.analyses)
         self.workers = workers
+        #: Propagation backend: explicit argument > spec pin > frontier.
+        #: Unlike ``workers`` this is part of the propagation stage's
+        #: fingerprint (namespace ``backend``), so artifacts computed by
+        #: different backends never alias in a shared cache even though
+        #: they are equivalent.
+        self.backend = backend if backend is not None else (
+            self.spec.backend or DEFAULT_BACKEND)
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown propagation backend {self.backend!r} "
+                f"(choose from {BACKENDS})")
         self.cache = cache if cache is not None else ArtifactCache(
             Path(cache_dir) if cache_dir is not None else None)
         self.graph = graph or self.spec.stage_graph()
@@ -135,6 +148,7 @@ class ScenarioRun:
             options_repr = {
                 "inference": repr(self.inference_options),
                 "analysis": repr(self.analysis_options),
+                "backend": repr(self.backend),
             }
             self._fingerprints = self.graph.fingerprints(
                 config_repr, options_repr, salt=self.spec.name)

@@ -1,14 +1,23 @@
 """Multi-process sharding of the embarrassingly parallel stages.
 
-The propagation stage is per-origin parallel: every origin's frontier
-BFS is independent, and the recorded route fragments are plain
-materialised objects.  :func:`sharded_propagate` ships a compact
+The propagation stage is origin-parallel: every origin's propagation is
+independent, and the recorded route fragments are plain materialised
+objects.  :func:`sharded_propagate` ships a compact
 :class:`~repro.runtime.snapshot.ContextSnapshot` to each worker once
-(via the pool initializer), fans contiguous origin chunks out with
+(via the pool initializer), fans contiguous **origin batches** out with
 ``ProcessPoolExecutor.map`` (which preserves order), and merges the
 fragments back **in the original origin order** — so the assembled
 :class:`~repro.bgp.propagation.PropagationResult` is bit-identical to a
 single-process run, including dict insertion orders.
+
+Each shard is a batch, not a single origin: the worker resolves its
+whole chunk through
+:meth:`~repro.bgp.propagation.PropagationEngine.batch_fragments`, so
+under the batched backend one chunk costs a few vectorized sweeps (the
+worker's restored context compiles its
+:class:`~repro.runtime.batched.PropagationPlan` once and replays it per
+batch) instead of per-origin walks.  The snapshot carries the backend
+selection, so workers always propagate with the parent's engine.
 
 Worker-side state is reconstructed, never inherited: the initializer
 rebuilds a fresh :class:`PipelineContext` from the snapshot, which keeps
@@ -19,6 +28,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bgp.propagation import (
@@ -80,10 +90,10 @@ def _init_propagation_worker(
 
 
 def _propagate_chunk(specs: List[OriginSpec]) -> List[Fragments]:
-    """Compute the recorded fragments for one origin chunk."""
+    """Compute the recorded fragments for one origin batch."""
     engine = _WORKER_ENGINE
     assert engine is not None, "propagation worker not initialised"
-    return [engine.origin_fragments(spec) for spec in specs]
+    return engine.batch_fragments(specs)
 
 
 # -- parent side ---------------------------------------------------------------
@@ -94,25 +104,36 @@ def sharded_propagate(
     record_at: Optional[Iterable[int]],
     record_alternatives_at: Iterable[int],
     workers: Optional[int],
+    backend: Optional[str] = None,
 ) -> PropagationResult:
     """Propagate *origins*, sharded across *workers* processes.
 
     Falls back to the in-process engine for ``workers <= 1`` (or a
     single origin).  The sharded path produces a result bit-identical to
     the fallback: fragments are merged in origin order, replicating the
-    single-process recording sequence exactly.
+    single-process recording sequence exactly.  *backend* overrides the
+    context's propagation backend for this call — parent engine and
+    worker snapshots alike — without mutating the context.
     """
     origins = list(origins)
     worker_count = resolve_workers(workers)
     record = frozenset(record_at) if record_at is not None else None
     record_alt = frozenset(record_alternatives_at or ())
+    if backend is not None:
+        from repro.bgp.propagation import BACKENDS
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown propagation backend {backend!r} "
+                             f"(choose from {BACKENDS})")
 
     if worker_count <= 1 or len(origins) < 2:
         engine = context.engine(record_at=record,
-                                record_alternatives_at=record_alt)
+                                record_alternatives_at=record_alt,
+                                backend=backend)
         return engine.propagate(origins)
 
     snapshot = snapshot_context(context)
+    if backend is not None and backend != snapshot.backend:
+        snapshot = replace(snapshot, backend=backend)
     chunks = chunked(origins, worker_count * CHUNKS_PER_WORKER)
     result = PropagationResult()
     with ProcessPoolExecutor(

@@ -13,6 +13,11 @@ of materialising per-route objects:
   per topology, pre-partitioned into the three valley-free phases;
 * :class:`FrontierPropagator` — the array-based frontier BFS the
   :class:`~repro.bgp.propagation.PropagationEngine` runs on;
+* :class:`PropagationPlan` / :class:`BatchedPropagator` — the vectorized
+  multi-origin backend: the plan compiles the CSR index once per
+  topology, batches of origins replay it as level-synchronous numpy
+  sweeps, bit-identical to the frontier engine (gate on
+  :func:`numpy_available`);
 * :class:`BitsetIndex` — member-population bitmasks used by the
   reachability/link-inference layer;
 * :class:`PipelineContext` — owns the interners, the index and the
@@ -23,6 +28,12 @@ of materialising per-route objects:
   (:func:`snapshot_context` / :func:`restore_context`).
 """
 
+from repro.runtime.batched import (
+    BatchedPropagator,
+    BatchState,
+    PropagationPlan,
+    numpy_available,
+)
 from repro.runtime.bitset import BitsetIndex
 from repro.runtime.context import PipelineContext
 from repro.runtime.csr import CSRIndex
@@ -36,15 +47,19 @@ from repro.runtime.snapshot import (
 from repro.runtime.stores import CommunityBagStore, PathStore
 
 __all__ = [
+    "BatchedPropagator",
+    "BatchState",
     "BitsetIndex",
     "CommunityBagStore",
     "ContextSnapshot",
     "CSRIndex",
     "FrontierPropagator",
     "Interner",
+    "numpy_available",
     "OriginState",
     "PathStore",
     "PipelineContext",
+    "PropagationPlan",
     "restore_context",
     "snapshot_context",
 ]

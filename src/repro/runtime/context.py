@@ -20,12 +20,25 @@ from repro.runtime.interning import Interner
 from repro.runtime.stores import PathStore
 
 
+#: Propagation backends a context can default its engines to (the full
+#: selector semantics live in :mod:`repro.bgp.propagation`).
+PROPAGATION_BACKENDS = ("frontier", "batched", "reference")
+DEFAULT_BACKEND = "frontier"
+
+
 class PipelineContext:
     """Shared interners, adjacency index and memoised propagation."""
 
-    def __init__(self, index: CSRIndex) -> None:
+    def __init__(self, index: CSRIndex,
+                 backend: str = DEFAULT_BACKEND) -> None:
+        if backend not in PROPAGATION_BACKENDS:
+            raise ValueError(
+                f"unknown propagation backend {backend!r} "
+                f"(choose from {PROPAGATION_BACKENDS})")
         #: the CSR adjacency index (owns the ASN interner and bag store).
         self.index = index
+        #: default propagation backend for engines built off this context.
+        self.backend = backend
         #: ASN interner (node ids ascend with ASN value).
         self.asns = index.asns
         #: community-bag store shared with the index's edge bags.
@@ -37,6 +50,7 @@ class PipelineContext:
         #: community-value id space for scheme-level bookkeeping.
         self.communities: Interner = Interner()
         self._propagator: Optional[FrontierPropagator] = None
+        self._plan = None
         #: (origin, origin bag, record signature) -> recorded fragments.
         self._route_cache: Dict[Tuple, Tuple] = {}
         self._member_indices: Dict[Hashable, Tuple[frozenset, BitsetIndex]] = {}
@@ -44,15 +58,17 @@ class PipelineContext:
     # -- construction --------------------------------------------------------
 
     @classmethod
-    def from_adjacencies(cls, adjacencies: Iterable[object]) -> "PipelineContext":
+    def from_adjacencies(cls, adjacencies: Iterable[object],
+                         backend: str = DEFAULT_BACKEND) -> "PipelineContext":
         """Build a context from directed adjacency records."""
-        return cls(CSRIndex.from_adjacencies(adjacencies))
+        return cls(CSRIndex.from_adjacencies(adjacencies), backend=backend)
 
     @classmethod
-    def from_graph(cls, graph, rs_community_provider=None) -> "PipelineContext":
+    def from_graph(cls, graph, rs_community_provider=None,
+                   backend: str = DEFAULT_BACKEND) -> "PipelineContext":
         """Build a context from an :class:`~repro.topology.as_graph.ASGraph`."""
         return cls(graph.build_index(
-            rs_community_provider=rs_community_provider))
+            rs_community_provider=rs_community_provider), backend=backend)
 
     # -- propagation ---------------------------------------------------------
 
@@ -64,14 +80,28 @@ class PipelineContext:
                 self.index, self.paths, self.bags)
         return self._propagator
 
-    def engine(self, record_at=None, record_alternatives_at=None):
+    @property
+    def plan(self):
+        """The (lazily compiled, cached)
+        :class:`~repro.runtime.batched.PropagationPlan` of this
+        context's index — the batched backend's per-topology schedule,
+        reused across every batch and engine."""
+        if self._plan is None:
+            from repro.runtime.batched import PropagationPlan
+            self._plan = PropagationPlan(self.index)
+        return self._plan
+
+    def engine(self, record_at=None, record_alternatives_at=None,
+               backend=None):
         """A :class:`~repro.bgp.propagation.PropagationEngine` sharing
-        this context's index, stores and memoised routes."""
+        this context's index, stores and memoised routes; *backend*
+        defaults to the context's own."""
         from repro.bgp.propagation import PropagationEngine
         return PropagationEngine(
             record_at=record_at,
             record_alternatives_at=record_alternatives_at,
             context=self,
+            backend=backend,
         )
 
     @property

@@ -42,6 +42,8 @@ class ContextSnapshot:
     peer_phase: PhaseArrays
     provider_phase: PhaseArrays
     num_edges: int
+    #: propagation backend the restored context defaults its engines to.
+    backend: str = "frontier"
 
     @property
     def num_nodes(self) -> int:
@@ -71,6 +73,7 @@ def snapshot_context(context: "PipelineContext") -> ContextSnapshot:
         peer_phase=_pack_phase(index.peer_edges),
         provider_phase=_pack_phase(index.provider_edges),
         num_edges=index.num_edges,
+        backend=getattr(context, "backend", "frontier"),
     )
 
 
@@ -95,7 +98,7 @@ def restore_context(snapshot: ContextSnapshot) -> "PipelineContext":
         provider_edges=_unpack_phase(snapshot.provider_phase),
         num_edges=snapshot.num_edges,
     )
-    return PipelineContext(index)
+    return PipelineContext(index, backend=snapshot.backend)
 
 
 def snapshot_sizes(snapshot: ContextSnapshot) -> dict:

@@ -113,6 +113,10 @@ class Scenario:
     #: Shared runtime context (interners, CSR index, memoised routes);
     #: threaded through propagation and the inference engine.
     context: Optional[PipelineContext] = None
+    #: Propagation backend the scenario was built with ("frontier",
+    #: "batched" or "reference"); recorded for provenance and threaded
+    #: into the inference engine.
+    backend: str = "frontier"
 
     # -- ground truth -----------------------------------------------------------------
 
@@ -184,6 +188,7 @@ class Scenario:
             mappers=self.mappers(),
             relationships=relationships,
             context=self.context,
+            backend=self.backend,
         )
 
     def run_inference(
@@ -255,13 +260,17 @@ def stage_propagation(
     internet: GeneratedInternet,
     ixps_artifact: Dict[str, object],
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, object]:
     """Pick observation points and run valley-free propagation.
 
-    The per-origin frontier runs are embarrassingly parallel; with
-    ``workers > 1`` they are sharded across a process pool (worker
+    The per-origin runs are embarrassingly parallel; with ``workers >
+    1`` they are sharded as origin batches across a process pool (worker
     contexts rebuilt from a :mod:`repro.runtime.snapshot`), with results
-    bit-identical to the single-process path.
+    bit-identical to the single-process path.  *backend* selects the
+    propagation data plane (frontier BFS per origin, vectorized batched
+    sweeps, or the object-graph reference oracle); all backends build
+    equivalent artifacts but are fingerprinted separately.
     """
     graph = internet.graph
     route_servers: Dict[str, RouteServer] = ixps_artifact["route_servers"]
@@ -285,8 +294,10 @@ def stage_propagation(
         policy = route_server.member_policy(asn)
         return policy.communities_for(route_server.scheme, None, route_server.mapper)
 
+    from repro.bgp.propagation import DEFAULT_BACKEND
     context = PipelineContext.from_graph(
-        graph, rs_community_provider=rs_communities)
+        graph, rs_community_provider=rs_communities,
+        backend=backend if backend is not None else DEFAULT_BACKEND)
     origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
                for node in graph.nodes() if node.prefixes]
 
@@ -296,6 +307,7 @@ def stage_propagation(
 
     return {
         "context": context,
+        "backend": context.backend,
         "propagation": propagation,
         "vantage_points": vantage_points,
         "lg_hosts": lg_hosts,
@@ -389,6 +401,7 @@ def stage_scenario(
         traceroute=traceroute,
         vantage_points=propagation_artifact["vantage_points"],
         context=propagation_artifact["context"],
+        backend=propagation_artifact.get("backend", "frontier"),
     )
 
 
@@ -737,11 +750,16 @@ STAGE_LIBRARY: Dict[str, Stage] = {
             "propagation",
             fn=lambda run: stage_propagation(
                 run.config, run.artifact("topology"), run.artifact("ixps"),
-                workers=run.workers),
+                workers=run.workers, backend=getattr(run, "backend", None)),
             deps=("topology", "ixps"),
             config_keys=("vantage_point_fraction", "full_feed_fraction",
                          "third_party_lgs_per_ixp", "num_traceroute_monitors",
                          "num_validation_lgs"),
+            # The backend namespace salts this fingerprint (and, via the
+            # dependency cascade, everything downstream), so artifacts
+            # from different propagation backends never alias in a
+            # shared cache.
+            options_key="backend",
             persist=True,
         ),
         Stage(

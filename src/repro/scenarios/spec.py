@@ -112,6 +112,11 @@ class ScenarioSpec:
     base_seed: int = 20130501
     #: Size used when the caller does not supply one.
     default_size: str = "full"
+    #: Propagation backend pin ("frontier"/"batched"/"reference"); None
+    #: lets :class:`~repro.pipeline.run.ScenarioRun` default to the
+    #: frontier engine.  The resolved backend is salted into the
+    #: propagation stage's fingerprint.
+    backend: Optional[str] = None
 
     # -- derived artefacts ----------------------------------------------------
 

@@ -8,6 +8,13 @@ from repro.scenarios.europe2013 import build_europe2013
 from repro.scenarios.workloads import small_scenario_config
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="regenerate the tests/goldens/*.json scenario fixtures "
+             "instead of failing on a mismatch")
+
+
 @pytest.fixture(scope="session")
 def small_scenario():
     """The small synthetic Europe-2013 scenario (built once)."""

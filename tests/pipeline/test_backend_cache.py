@@ -1,0 +1,111 @@
+"""Backend selection through the staged pipeline and its caches.
+
+The propagation backend is part of the propagation stage's fingerprint
+(namespace ``backend``), so artifacts computed by different backends
+never alias in a shared :class:`ArtifactCache` — even though they are
+equivalent — and everything downstream of propagation re-keys with it
+while the topology/ixps stages stay shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.propagation import BACKENDS
+from repro.pipeline import ArtifactCache, ScenarioRun
+from repro.runtime.batched import numpy_available
+from repro.scenarios.spec import get_scenario
+from repro.scenarios.workloads import scenario_run
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="batched backend requires numpy")
+
+
+def tiny_config():
+    return get_scenario("europe2013").config("tiny")
+
+
+class TestBackendFingerprints:
+    def test_backend_salts_propagation_and_downstream(self):
+        frontier = ScenarioRun(tiny_config(), backend="frontier")
+        batched = ScenarioRun(tiny_config(), backend="batched")
+        fp_frontier = frontier.fingerprints()
+        fp_batched = batched.fingerprints()
+        # Upstream of propagation: shared.
+        assert fp_frontier["topology"] == fp_batched["topology"]
+        assert fp_frontier["ixps"] == fp_batched["ixps"]
+        # Propagation and everything downstream: re-keyed.
+        for stage in ("propagation", "collectors", "viewpoints",
+                      "scenario", "connectivity", "inference", "analyses"):
+            assert fp_frontier[stage] != fp_batched[stage], stage
+
+    def test_default_backend_is_frontier(self):
+        run = ScenarioRun(tiny_config())
+        assert run.backend == "frontier"
+        assert run.fingerprints() == ScenarioRun(
+            tiny_config(), backend="frontier").fingerprints()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown propagation backend"):
+            ScenarioRun(tiny_config(), backend="warp-drive")
+
+    def test_spec_can_pin_backend(self):
+        pinned = get_scenario("europe2013").with_overrides(
+            name="europe2013-batched", backend="batched")
+        run = ScenarioRun(tiny_config(), scenario=pinned)
+        assert run.backend == "batched"
+        # Explicit argument wins over the spec pin.
+        run = ScenarioRun(tiny_config(), scenario=pinned,
+                          backend="frontier")
+        assert run.backend == "frontier"
+
+
+@requires_numpy
+class TestBackendArtifactIsolation:
+    def test_backends_never_share_cached_propagation_artifacts(self):
+        """A batched run against a frontier-warmed cache recomputes
+        propagation (and downstream) but reuses topology/ixps."""
+        cache = ArtifactCache()
+        frontier = ScenarioRun(tiny_config(), backend="frontier",
+                               cache=cache)
+        frontier.artifact("propagation")
+        batched = ScenarioRun(tiny_config(), backend="batched", cache=cache)
+        batched.artifact("propagation")
+        statuses = batched.stage_statuses()
+        assert statuses["topology"] == "memory"
+        assert statuses["ixps"] == "memory"
+        assert statuses["propagation"] == "computed"
+        # Same backend again: full warm hit.
+        warm = ScenarioRun(tiny_config(), backend="batched", cache=cache)
+        warm.artifact("propagation")
+        assert warm.stage_statuses()["propagation"] == "memory"
+
+    def test_backend_threaded_into_scenario_and_engine(self):
+        run = ScenarioRun(tiny_config(), backend="batched")
+        scenario = run.scenario()
+        assert scenario.backend == "batched"
+        assert scenario.context.backend == "batched"
+        assert scenario.make_engine().backend == "batched"
+
+    def test_batched_pipeline_results_equal_frontier(self):
+        cache = ArtifactCache()
+        frontier = ScenarioRun(tiny_config(), backend="frontier",
+                               cache=cache).inference()
+        batched = ScenarioRun(tiny_config(), backend="batched",
+                              cache=cache).inference()
+        assert frontier.all_links() == batched.all_links()
+        assert frontier.links_by_ixp() == batched.links_by_ixp()
+
+    def test_sharded_batched_propagation_identical_to_single_process(self):
+        single = scenario_run("tiny", backend="batched",
+                              cache=ArtifactCache())
+        sharded = scenario_run("tiny", backend="batched", workers=2,
+                               cache=ArtifactCache())
+        assert single.inference().all_links() == \
+            sharded.inference().all_links()
+        # Worker counts are an execution detail: fingerprints agree.
+        assert single.fingerprints() == sharded.fingerprints()
+
+
+def test_backends_constant_matches_engine():
+    assert BACKENDS == ("frontier", "batched", "reference")

@@ -1,0 +1,336 @@
+"""Differential harness: batched backend vs frontier vs reference.
+
+The batched engine must reproduce the frontier engine *exactly* —
+fragment content and order, Adj-RIB-In offers, touched order — on
+arbitrary policy-annotated topologies, and all three backends must
+agree on links and visibility over generator-built internets across
+randomized regime knobs.  Every future backend gets trust the same way:
+add it to :data:`ALL_BACKENDS` and the whole suite exercises it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp.communities import Community
+from repro.bgp.policy import Relationship
+from repro.bgp.prefix import Prefix
+from repro.bgp.propagation import (
+    BACKENDS,
+    Adjacency,
+    OriginSpec,
+    PropagationEngine,
+    adjacencies_from_index,
+    bidirectional_adjacencies,
+)
+from repro.runtime.batched import (
+    BatchedPathStore,
+    PropagationPlan,
+    numpy_available,
+)
+from repro.runtime.context import PipelineContext
+from repro.runtime.snapshot import restore_context, snapshot_context
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="batched backend requires numpy")
+
+ALL_BACKENDS = BACKENDS
+
+
+def random_internet(rng, num_ases=30):
+    """A random policy-annotated adjacency set (providers, bilateral and
+    RS peering with communities, opaque route servers, siblings)."""
+    asns = [64500 + i for i in range(num_ases)]
+    adjacencies = []
+    linked = set()
+
+    def link(a, b):
+        return (min(a, b), max(a, b))
+
+    for i in range(1, num_ases):
+        for provider in rng.sample(asns[:i], k=min(i, rng.randint(1, 2))):
+            linked.add(link(asns[i], provider))
+            adjacencies.extend(bidirectional_adjacencies(
+                asns[i], provider, Relationship.PROVIDER))
+    for _ in range(num_ases):
+        a, b = rng.sample(asns, 2)
+        if link(a, b) in linked:
+            continue
+        linked.add(link(a, b))
+        adjacencies.append(Adjacency(a, b, Relationship.PEER))
+        adjacencies.append(Adjacency(b, a, Relationship.PEER))
+    for _ in range(num_ases // 2):
+        a, b = rng.sample(asns, 2)
+        if link(a, b) in linked:
+            continue
+        linked.add(link(a, b))
+        transparent = rng.random() < 0.5
+        adjacencies.append(Adjacency(
+            a, b, Relationship.RS_PEER,
+            communities=frozenset({Community(6695, a & 0xFFFF)}),
+            via_rs_asn=65010, rs_transparent=transparent))
+        adjacencies.append(Adjacency(
+            b, a, Relationship.RS_PEER,
+            communities=frozenset({Community(6695, b & 0xFFFF)}),
+            via_rs_asn=65010, rs_transparent=transparent))
+    for _ in range(3):
+        a, b = rng.sample(asns, 2)
+        if link(a, b) in linked:
+            continue
+        linked.add(link(a, b))
+        adjacencies.append(Adjacency(a, b, Relationship.SIBLING))
+        adjacencies.append(Adjacency(b, a, Relationship.SIBLING))
+    return asns, adjacencies
+
+
+def random_origins(rng, asns, count=10):
+    origins = []
+    for asn in rng.sample(asns, k=min(len(asns), count)):
+        communities = frozenset({Community(0, asn & 0xFFFF)}) \
+            if rng.random() < 0.3 else frozenset()
+        origins.append(OriginSpec(
+            asn=asn,
+            prefixes=[Prefix.from_octets(
+                10, (asn >> 8) & 0xFF, asn & 0xFF, 0, 24)],
+            communities=communities))
+    return origins
+
+
+def fragment_key(routes):
+    """Order-sensitive content signature of a fragment list."""
+    return [(r.asn, r.path, r.communities, r.provenance, r.learned_from)
+            for r in routes]
+
+
+# -- exact frontier equivalence ------------------------------------------------
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [1, 7, 20130507, 424242, 999983])
+def test_batched_fragments_bit_identical_to_frontier(seed):
+    """Best fragments AND offered (Adj-RIB-In) fragments match the
+    frontier engine exactly, including discovery/offer order."""
+    rng = random.Random(seed)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    observers = rng.sample(asns, k=12)
+    alt = observers[:5]
+
+    frontier = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=observers, record_alternatives_at=alt)
+    batched = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=observers, record_alternatives_at=alt, backend="batched")
+    for spec, got_f, got_b in zip(origins,
+                                  frontier.batch_fragments(origins),
+                                  batched.batch_fragments(origins)):
+        assert fragment_key(got_f[0]) == fragment_key(got_b[0]), \
+            (seed, spec.asn, "best")
+        assert fragment_key(got_f[1]) == fragment_key(got_b[1]), \
+            (seed, spec.asn, "offered")
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [3, 31337])
+def test_batched_record_everything_matches_frontier(seed):
+    """record_at=None (record every AS) is also bit-identical."""
+    rng = random.Random(seed)
+    asns, adjacencies = random_internet(rng, num_ases=40)
+    origins = random_origins(rng, asns, count=15)
+    frontier = PipelineContext.from_adjacencies(adjacencies).engine()
+    batched = PipelineContext.from_adjacencies(adjacencies).engine(
+        backend="batched")
+    for got_f, got_b in zip(frontier.batch_fragments(origins),
+                            batched.batch_fragments(origins)):
+        assert fragment_key(got_f[0]) == fragment_key(got_b[0])
+
+
+@requires_numpy
+def test_batched_propagation_result_matches_frontier():
+    rng = random.Random(99)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    fast = PropagationEngine(adjacencies).propagate(origins)
+    batched = PropagationEngine(adjacencies, backend="batched").propagate(
+        origins)
+    assert fast.visible_links() == batched.visible_links()
+    for origin in origins:
+        for asn in asns:
+            route_f = fast.best_route(asn, origin.asn)
+            route_b = batched.best_route(asn, origin.asn)
+            assert (route_f is None) == (route_b is None)
+            if route_f is not None:
+                assert fragment_key([route_f]) == fragment_key([route_b])
+
+
+# -- property-based three-backend differential --------------------------------
+
+
+def _random_generator_config(rng) -> GeneratorConfig:
+    """A seeded random regime: phase selection plus hypergiant /
+    private-peering / bilateral knobs."""
+    from repro.topology.phases import DEFAULT_PHASE_ORDER
+    phases = list(DEFAULT_PHASE_ORDER)
+    for optional in ("sibling-links", "backbone-peering",
+                     "private-peering"):
+        if rng.random() < 0.35:
+            phases.remove(optional)
+    low = rng.randint(1, 3)
+    return GeneratorConfig(
+        seed=rng.randrange(1 << 30),
+        scale=rng.uniform(0.05, 0.09),
+        ixp_member_scale=rng.uniform(0.04, 0.08),
+        sibling_pair_fraction=rng.choice([0.0, 0.01, 0.05]),
+        num_hypergiants=rng.randint(2, 5),
+        hypergiant_ixp_presence=rng.uniform(0.3, 1.0),
+        hypergiant_private_peering_probability=rng.uniform(0.0, 0.15),
+        bilateral_peer_range=(low, low + rng.randint(0, 5)),
+        content_multiplier=rng.choice([0.8, 1.0, 1.6]),
+        phases=tuple(phases),
+    )
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [2013, 4242, 77])
+def test_backends_agree_on_generated_internets(seed):
+    """Frontier, batched and reference backends produce identical links
+    and visibility sets (and frontier/batched identical best routes) on
+    generator-built internets across randomized regime knobs."""
+    rng = random.Random(seed)
+    config = _random_generator_config(rng)
+    internet = InternetGenerator(config).generate()
+    graph = internet.graph
+    origin_pool = [node.asn for node in graph.nodes() if node.prefixes]
+    origins = [OriginSpec(asn=asn, prefixes=list(graph.prefixes_of(asn)))
+               for asn in sorted(rng.sample(origin_pool,
+                                            min(25, len(origin_pool))))]
+    observers = sorted(rng.sample(graph.asns(), k=min(30, len(graph))))
+
+    results = {}
+    for backend in ALL_BACKENDS:
+        context = PipelineContext.from_graph(graph, backend=backend)
+        engine = context.engine(record_at=observers)
+        results[backend] = engine.propagate(origins)
+
+    frontier = results["frontier"]
+    for backend in ALL_BACKENDS[1:]:
+        assert frontier.visible_links() == results[backend].visible_links(), \
+            (seed, backend)
+    for origin in origins:
+        for asn in observers:
+            route_f = frontier.best_route(asn, origin.asn)
+            route_b = results["batched"].best_route(asn, origin.asn)
+            route_r = results["reference"].best_route(asn, origin.asn)
+            assert (route_f is None) == (route_b is None) == (route_r is None)
+            if route_f is None:
+                continue
+            assert fragment_key([route_f]) == fragment_key([route_b]), \
+                (seed, origin.asn, asn)
+            assert fragment_key([route_f]) == fragment_key([route_r]), \
+                (seed, origin.asn, asn)
+
+
+# -- reference-backend plumbing ------------------------------------------------
+
+
+def test_adjacencies_from_index_round_trip():
+    """Index -> adjacency reconstruction preserves propagation semantics
+    (same links and routes through a freshly built engine)."""
+    rng = random.Random(5)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    context = PipelineContext.from_adjacencies(adjacencies)
+    rebuilt = adjacencies_from_index(context.index)
+    assert len(rebuilt) == len(adjacencies)
+    direct = PropagationEngine(adjacencies).propagate(origins)
+    rebuilt_result = PropagationEngine(rebuilt).propagate(origins)
+    assert direct.visible_links() == rebuilt_result.visible_links()
+
+
+def test_reference_backend_selector():
+    rng = random.Random(6)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns, count=5)
+    frontier = PropagationEngine(adjacencies).propagate(origins)
+    reference = PropagationEngine(
+        adjacencies, backend="reference").propagate(origins)
+    assert frontier.visible_links() == reference.visible_links()
+
+
+# -- unit-level pieces ---------------------------------------------------------
+
+
+def test_unknown_backend_rejected():
+    adjacencies = [Adjacency(1, 2, Relationship.PEER),
+                   Adjacency(2, 1, Relationship.PEER)]
+    with pytest.raises(ValueError, match="unknown propagation backend"):
+        PropagationEngine(adjacencies, backend="warp-drive")
+    with pytest.raises(ValueError, match="unknown propagation backend"):
+        PipelineContext.from_adjacencies(adjacencies, backend="warp-drive")
+
+
+@requires_numpy
+def test_plan_is_cached_on_context():
+    rng = random.Random(11)
+    _asns, adjacencies = random_internet(rng)
+    context = PipelineContext.from_adjacencies(adjacencies)
+    plan = context.plan
+    assert plan is context.plan
+    assert isinstance(plan, PropagationPlan)
+    summary = plan.summary()
+    assert summary["nodes"] == context.index.num_nodes
+    assert (summary["customer_phase_edges"]
+            == context.index.customer_edges.num_edges)
+
+
+@requires_numpy
+def test_batched_path_store_matches_tuple_semantics():
+    import numpy as np
+    store = BatchedPathStore(capacity=2)
+    ids = store.alloc(np.array([10, 20]), np.array([-1, -1]))
+    extended = store.alloc(np.array([30, 40]),
+                           np.array([ids[0], ids[1]]))
+    assert store.materialize(int(extended[0])) == (30, 10)
+    assert store.materialize(int(extended[1])) == (40, 20)
+    assert store.materialize(int(ids[0])) == (10,)
+    assert store.materialize(-1) == ()
+    assert len(store) == 4
+
+
+def test_snapshot_carries_backend():
+    rng = random.Random(12)
+    _asns, adjacencies = random_internet(rng)
+    context = PipelineContext.from_adjacencies(adjacencies,
+                                               backend="batched")
+    restored = restore_context(snapshot_context(context))
+    assert restored.backend == "batched"
+    assert restored.engine().backend == "batched"
+
+
+@requires_numpy
+def test_engine_inherits_context_backend_and_can_override():
+    rng = random.Random(13)
+    _asns, adjacencies = random_internet(rng)
+    context = PipelineContext.from_adjacencies(adjacencies,
+                                               backend="batched")
+    assert context.engine().backend == "batched"
+    assert context.engine(backend="frontier").backend == "frontier"
+
+
+@requires_numpy
+def test_route_cache_is_partitioned_per_backend():
+    """Two backends on one shared context never alias memoised
+    fragments (the cache key carries the backend)."""
+    rng = random.Random(14)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns, count=3)
+    context = PipelineContext.from_adjacencies(adjacencies)
+    observers = asns[:8]
+    context.engine(record_at=observers).batch_fragments(origins)
+    cached_before = len(context.route_cache)
+    assert cached_before == len(origins)
+    context.engine(record_at=observers,
+                   backend="batched").batch_fragments(origins)
+    assert len(context.route_cache) == 2 * cached_before

@@ -1,0 +1,86 @@
+"""Golden regression fixtures for every registered scenario.
+
+Each file under ``tests/goldens/`` freezes a scenario family's tiny-size
+outcome: the full inferred link set, the Table 2 rows and a sha256
+digest of the canonical link-set JSON.  The test regenerates every
+scenario through the staged pipeline and diffs against the goldens, so
+any change to generation, propagation (any backend), inference or their
+orderings shows up as a reviewable fixture diff instead of a silent
+behaviour change.
+
+Refresh intentionally with::
+
+    pytest tests/test_goldens.py --update-goldens
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import ArtifactCache, ScenarioRun
+from repro.scenarios.spec import get_scenario, scenario_names
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_SIZE = "tiny"
+
+
+def links_digest(links) -> str:
+    """sha256 over the canonical JSON form of a link list."""
+    payload = json.dumps([[int(a), int(b)] for a, b in links],
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def build_golden(name: str) -> dict:
+    """One scenario's golden payload, regenerated from scratch."""
+    spec = get_scenario(name)
+    run = ScenarioRun(spec.config(GOLDEN_SIZE), scenario=name,
+                      cache=ArtifactCache())
+    result = run.inference()
+    links = [[int(a), int(b)] for a, b in result.all_links()]
+    table2 = [{key: value for key, value in row.items()}
+              for row in run.table2()]
+    return {
+        "scenario": name,
+        "size": GOLDEN_SIZE,
+        "num_links": len(links),
+        "links_sha256": links_digest(links),
+        "links": links,
+        "table2": table2,
+    }
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_matches_golden(name, request):
+    """Tiny-size links and Table 2 are bit-identical to the committed
+    golden (regenerate intentionally with ``--update-goldens``)."""
+    fresh = build_golden(name)
+    path = golden_path(name)
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(fresh, indent=1, sort_keys=True) + "\n")
+    assert path.is_file(), (
+        f"no golden for scenario {name!r}; run "
+        f"pytest tests/test_goldens.py --update-goldens to create it")
+    golden = json.loads(path.read_text())
+    assert fresh["links_sha256"] == golden["links_sha256"], (
+        f"{name}: link set diverged from golden "
+        f"({fresh['num_links']} vs {golden['num_links']} links)")
+    assert fresh["links"] == golden["links"]
+    assert fresh["table2"] == golden["table2"]
+
+
+def test_goldens_cover_every_registered_scenario():
+    """No stale or missing fixtures: the goldens directory mirrors the
+    scenario registry exactly."""
+    assert GOLDEN_DIR.is_dir()
+    on_disk = sorted(path.stem for path in GOLDEN_DIR.glob("*.json"))
+    assert on_disk == scenario_names()
