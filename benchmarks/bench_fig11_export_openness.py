@@ -3,15 +3,13 @@
 from repro.analysis.policies import PolicyAnalysis
 
 
-def test_export_openness(scenario, inference, benchmark):
+def test_export_openness(scenario, reachability, benchmark):
     analysis = PolicyAnalysis(scenario.graph, scenario.peeringdb)
-    reachabilities = {name: inf.reachabilities
-                      for name, inf in inference.per_ixp.items()}
     members = {name: scenario.graph.rs_members_of_ixp(name)
-               for name in inference.per_ixp}
+               for name in reachability.planes}
 
-    openness = benchmark(analysis.export_openness_by_policy,
-                         reachabilities, members)
+    openness = benchmark(analysis.export_openness_from_matrix,
+                         reachability, members)
 
     means = PolicyAnalysis.mean_openness(openness)
     binary = PolicyAnalysis.binary_pattern_fraction(openness)

@@ -4,16 +4,15 @@ from repro.analysis.repellers import RepellerAnalysis
 from repro.topology.customer_cone import customer_cone
 
 
-def test_repellers(scenario, inference, benchmark):
+def test_repellers(scenario, reachability, benchmark):
     graph = scenario.graph
     analysis = RepellerAnalysis(
         customer_cone=lambda asn: customer_cone(graph, asn),
         direct_customers=lambda asn: set(graph.customers(asn)))
-    reachabilities = {name: inf.reachabilities
-                      for name, inf in inference.per_ixp.items()}
-    members = {name: graph.rs_members_of_ixp(name) for name in inference.per_ixp}
+    members = {name: graph.rs_members_of_ixp(name)
+               for name in reachability.planes}
 
-    report = benchmark(analysis.analyse, reachabilities, members)
+    report = benchmark(analysis.analyse_matrix, reachability, members)
 
     print("\nFigure 13 / section 5.5 — repellers")
     print(f"  EXCLUDE applications observed:    {report.total_exclusions} "

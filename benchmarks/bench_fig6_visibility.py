@@ -8,13 +8,13 @@ of known peering links (paper: +209%).
 from repro.analysis.visibility import VisibilityAnalysis
 
 
-def test_visibility_comparison(scenario, inference, benchmark):
-    mlp_links = inference.all_links()
+def test_visibility_comparison(scenario, reachability, benchmark):
     bgp_links = scenario.public_bgp_links()
 
     def analyse():
         traceroute_links = scenario.traceroute_links()
-        analysis = VisibilityAnalysis(mlp_links, bgp_links, traceroute_links)
+        analysis = VisibilityAnalysis.from_matrix(
+            reachability, bgp_links, traceroute_links)
         return analysis, analysis.report.summary()
 
     analysis, summary = benchmark(analyse)

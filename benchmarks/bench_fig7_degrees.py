@@ -3,13 +3,12 @@
 from repro.analysis.degrees import DegreeAnalysis
 
 
-def test_customer_degree_distribution(scenario, inference, benchmark):
+def test_customer_degree_distribution(scenario, reachability, benchmark):
     graph = scenario.graph
-    links = inference.all_links()
     analysis = DegreeAnalysis(
         lambda asn: graph.transit_degree(asn) if graph.has_as(asn) else 0)
 
-    stats = benchmark(analysis.analyse, links)
+    stats = benchmark(analysis.analyse_matrix, reachability)
 
     summary = stats.summary()
     print("\nFigure 7 — customer degrees on inferred MLP links")

@@ -1,0 +1,57 @@
+"""Inference-backend matrix: object vs bitset, timed and verified.
+
+Mirrors ``bench_backend_matrix.py`` for the *inference* data plane.
+Two things at once, per scenario size:
+
+* **equivalence** — the bitset backend must reproduce the object
+  engine's result exactly: links, per-IXP link sets, Table 2 rows,
+  reachability objects (mode / listed / sources / prefix counts) and
+  active query spend;
+* **speed** — the same end-to-end inference workload
+  (``scenario.run_inference``) is timed per backend after one warm-up
+  run, so the trajectory JSON captures the bitset plane's speedup next
+  to every other bench.
+
+``benchmarks/run_all.py`` additionally records per-backend wall times
+for every registered scenario in the ``inference_matrix`` section of
+``BENCH_<date>.json`` (and exits non-zero on any equivalence mismatch).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import ArtifactCache, ScenarioRun
+from repro.runtime.context import INFERENCE_BACKENDS
+from repro.scenarios.spec import get_scenario
+
+
+def inference_workload(size: str):
+    """The scenario the inference backends are raced on."""
+    spec = get_scenario("europe2013")
+    run = ScenarioRun(spec.config(size), cache=ArtifactCache())
+    return run.scenario()
+
+
+@pytest.mark.parametrize("size", ["tiny", "bench"])
+def test_inference_backends_bit_identical(size):
+    """Acceptance: bitset == object on the full scenario workload at
+    tiny and bench sizes (links, Table 2, provenance, query counts —
+    the shared ``MLPInferenceResult.identical_to`` predicate)."""
+    scenario = inference_workload(size)
+    obj = scenario.run_inference(inference_backend="object")
+    bit = scenario.run_inference(inference_backend="bitset")
+    assert obj.identical_to(bit)
+
+
+@pytest.mark.parametrize("inference_backend", INFERENCE_BACKENDS)
+def test_inference_backend_throughput(benchmark, scenario, inference_backend):
+    """Bench-size end-to-end inference, one timed row per backend
+    (compare the two rows in the benchmark table / BENCH trajectory)."""
+    def infer():
+        return scenario.run_inference(inference_backend=inference_backend)
+
+    infer()  # warm shared memos (archive, observation planes)
+    result = benchmark.pedantic(infer, rounds=3, iterations=1)
+    assert len(result.per_ixp) == 13
+    assert result.all_links()

@@ -3,22 +3,17 @@
 from repro.analysis.hybrid import HybridRelationshipAnalysis
 
 
-def test_hybrid_relationships(scenario, inference, benchmark):
+def test_hybrid_relationships(scenario, reachability, benchmark):
     graph = scenario.graph
     truth_hybrid = set()
     for pairs in scenario.internet.hybrid_pairs.values():
         truth_hybrid |= pairs
 
-    link_ixps = {}
-    for name, links in inference.links_by_ixp().items():
-        for link in links:
-            link_ixps.setdefault(link, []).append(name)
-
     analysis = HybridRelationshipAnalysis(
         graph.relationship,
         hybrid_evidence=lambda link: link in truth_hybrid)
 
-    report = benchmark(analysis.analyse, inference.all_links(), link_ixps)
+    report = benchmark(analysis.analyse_matrix, reachability)
 
     print("\nSection 5.6 — hybrid relationships")
     print(f"  inferred RS links that overlap a c2p relationship: "

@@ -38,3 +38,10 @@ def scenario(scenario_run):
 def inference(scenario_run):
     """Full passive+active inference over the scenario."""
     return scenario_run.inference()
+
+
+@pytest.fixture(scope="session")
+def reachability(scenario_run):
+    """The shared per-IXP reachability-plane artifact (the memoised
+    link/provenance views every figure bench consumes)."""
+    return scenario_run.reachability()

@@ -209,6 +209,79 @@ def run_backend_matrix(size: str = "tiny",
     return rows
 
 
+def run_inference_matrix(size: str = "tiny",
+                         bench_scenario: str = "europe2013") -> list[dict]:
+    """Time object vs bitset inference per registered scenario.
+
+    Every scenario is measured at *size*; *bench_scenario* additionally
+    at the ``bench`` size (the acceptance target).  Each row records,
+    per backend, the *cold* wall seconds (first run after the shared
+    archive memo is warmed — for the bitset backend this executes the
+    full plane build + M & M.T kernel, no observation-plane cache) and
+    the best *warm* wall seconds of three steady-state runs (the bitset
+    backend then serves from its context-cached planes — the artifact
+    reuse the backend is designed around), plus both speedups and an
+    equivalence verdict covering links, Table 2 rows and reachability
+    provenance, so the BENCH trajectory tracks the kernel win and the
+    cache win separately, and the backends' bit-identity, across PRs.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.pipeline import ArtifactCache, ScenarioRun
+    from repro.scenarios import scenario_names
+    from repro.scenarios.spec import get_scenario
+
+    jobs = [(name, size) for name in scenario_names()]
+    jobs.append((bench_scenario, "bench"))
+    rows: list[dict] = []
+    for name, job_size in jobs:
+        spec = get_scenario(name)
+        run = ScenarioRun(spec.config(job_size), scenario=name,
+                          cache=ArtifactCache())
+        scenario = run.scenario()
+
+        # Warm the shared archive memo so neither backend's cold run
+        # pays the (backend-independent) stable-entry walk.
+        scenario.archive.clean_stable_entries()
+        timings: dict[str, float] = {}
+        cold: dict[str, float] = {}
+        results = {}
+        for backend in ("object", "bitset"):
+            started = time.monotonic()
+            scenario.run_inference(inference_backend=backend)
+            cold[backend] = round(time.monotonic() - started, 4)
+            best = float("inf")
+            for _ in range(3):
+                started = time.monotonic()
+                results[backend] = scenario.run_inference(
+                    inference_backend=backend)
+                best = min(best, time.monotonic() - started)
+            timings[backend] = round(best, 4)
+        obj, bit = results["object"], results["bitset"]
+        identical = obj.identical_to(bit)
+        row = {
+            "scenario": name,
+            "size": job_size,
+            "ixps": len(obj.per_ixp),
+            "links": len(obj.all_links()),
+            "object_seconds": timings["object"],
+            "bitset_seconds": timings["bitset"],
+            "object_cold_seconds": cold["object"],
+            "bitset_cold_seconds": cold["bitset"],
+            "speedup": round(timings["object"]
+                             / max(timings["bitset"], 1e-9), 2),
+            "cold_speedup": round(cold["object"]
+                                  / max(cold["bitset"], 1e-9), 2),
+            "results_identical": identical,
+        }
+        print(f"[run_all] inference {name} ({job_size}): "
+              f"object {row['object_seconds']}s, "
+              f"bitset {row['bitset_seconds']}s "
+              f"({row['speedup']}x warm / {row['cold_speedup']}x cold, "
+              f"identical={identical})", flush=True)
+        rows.append(row)
+    return rows
+
+
 def find_previous_trajectory(exclude: Path) -> Path | None:
     """The most recent prior ``BENCH_<ISO date>.json`` (by dated name).
 
@@ -280,6 +353,8 @@ def main() -> int:
                         help="do not run the per-scenario tiny matrix")
     parser.add_argument("--skip-backend-matrix", action="store_true",
                         help="do not run the frontier-vs-batched matrix")
+    parser.add_argument("--skip-inference-matrix", action="store_true",
+                        help="do not run the object-vs-bitset inference matrix")
     parser.add_argument("--matrix-size", default="tiny",
                         help="size-table row for the scenario matrix")
     args = parser.parse_args()
@@ -306,6 +381,10 @@ def main() -> int:
     if not args.skip_backend_matrix:
         backend_rows = run_backend_matrix(args.matrix_size)
 
+    inference_rows: list[dict] = []
+    if not args.skip_inference_matrix:
+        inference_rows = run_inference_matrix(args.matrix_size)
+
     today = datetime.date.today().isoformat()
     out_path = args.out or (REPO_ROOT / f"BENCH_{today}.json")
     previous_path = find_previous_trajectory(exclude=out_path)
@@ -316,6 +395,7 @@ def main() -> int:
         "benches": results,
         "scenarios": scenario_rows,
         "backend_matrix": backend_rows,
+        "inference_matrix": inference_rows,
     }
     out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"[run_all] wrote {out_path}")
@@ -331,6 +411,8 @@ def main() -> int:
     if any(not row["ok"] for row in scenario_rows):
         return 1
     if any(not row["links_equal"] for row in backend_rows):
+        return 1
+    if any(not row["results_identical"] for row in inference_rows):
         return 1
     return 3 if warnings else 0
 

@@ -20,18 +20,21 @@ from repro.scenarios import get_scenario, scenario_names
 from repro.scenarios.workloads import scenario_run
 
 
-def run_survey(scenario_name: str, size: str, workers=None) -> None:
+def run_survey(scenario_name: str, size: str, workers=None,
+               backend=None, inference_backend=None) -> None:
     """Build one scenario, run inference, print the survey tables."""
     spec = get_scenario(scenario_name)
     print(f"building the {spec.name} scenario ({size}) ...")
     if spec.description:
         print(f"  {spec.description}")
-    run = scenario_run(size, scenario=scenario_name, workers=workers)
+    run = scenario_run(size, scenario=scenario_name, workers=workers,
+                       backend=backend, inference_backend=inference_backend)
     scenario = run.scenario()
     print(f"  {len(scenario.graph)} ASes, "
           f"{len(scenario.ground_truth_links())} ground-truth MLP pairs")
 
-    print("running passive + active inference ...")
+    print(f"running passive + active inference "
+          f"({run.inference_backend} backend) ...")
     result = run.inference()
 
     ixp_ases = {name: len(ixp.members) for name, ixp in scenario.ixps.items()}
@@ -74,6 +77,13 @@ def main(argv=None) -> None:
                         help="size-table row (tiny/small/bench/medium/large/full)")
     parser.add_argument("--workers", type=int, default=None,
                         help="shard the parallel stages across N processes")
+    parser.add_argument("--backend", default=None,
+                        choices=["frontier", "batched", "reference"],
+                        help="propagation data plane (default: frontier)")
+    parser.add_argument("--inference-backend", default=None,
+                        choices=["object", "bitset"],
+                        help="MLP inference data plane (default: object; "
+                             "bitset is the vectorized reachability plane)")
     parser.add_argument("--list", action="store_true",
                         help="list the registered scenarios and exit")
     args = parser.parse_args(argv)
@@ -86,7 +96,9 @@ def main(argv=None) -> None:
             print(f"{'':<20} sizes: {sizes}")
         return
 
-    run_survey(args.scenario, args.size, workers=args.workers)
+    run_survey(args.scenario, args.size, workers=args.workers,
+               backend=args.backend,
+               inference_backend=args.inference_backend)
 
 
 if __name__ == "__main__":

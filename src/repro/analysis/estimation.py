@@ -59,6 +59,58 @@ class EstimationReport:
         }
 
 
+def measured_densities(matrix) -> Dict[str, Dict[str, float]]:
+    """Per-IXP measured peering densities from the shared
+    :class:`~repro.runtime.reachmatrix.ReachabilityMatrix` artifact.
+
+    The estimator of section 5.7 *assumes* densities (70% flat-fee RS,
+    60% usage-based, ...); this view computes what the inference
+    actually measured — the exchange-level link density over the
+    member universe and the mean per-member density among members with
+    at least one inferred link — so the assumption can be sanity
+    checked against the reconstruction (the paper reports 0.79-0.95 at
+    the IXPs with full connectivity data).
+    """
+    from repro.analysis.density import member_densities
+
+    result: Dict[str, Dict[str, float]] = {}
+    for ixp_name in sorted(matrix.planes):
+        plane = matrix.planes[ixp_name]
+        num_members = plane.num_members
+        possible = num_members * (num_members - 1) // 2
+        links = matrix.links_of(ixp_name)
+        densities = [density for density in member_densities(
+            links, plane.index.universe).values() if density > 0.0]
+        result[ixp_name] = {
+            "members": float(num_members),
+            "links": float(len(links)),
+            "link_density": (len(links) / possible) if possible else 0.0,
+            "mean_member_density": (sum(densities) / len(densities)
+                                    if densities else 0.0),
+        }
+    return result
+
+
+def estimates_from_matrix(matrix, region: str = "europe",
+                          pricing_by_ixp: Optional[Mapping[str, str]] = None
+                          ) -> List[IXPEstimate]:
+    """IXPEstimate rows for the measured IXPs of a reachability matrix
+    (member universes attached, enabling exact overlap accounting)."""
+    pricing_by_ixp = dict(pricing_by_ixp or {})
+    estimates = []
+    for ixp_name in sorted(matrix.planes):
+        plane = matrix.planes[ixp_name]
+        estimates.append(IXPEstimate(
+            name=ixp_name,
+            members=plane.num_members,
+            region=region,
+            pricing=pricing_by_ixp.get(ixp_name, "flat"),
+            has_route_server=True,
+            member_asns=set(plane.index.universe),
+        ))
+    return estimates
+
+
 class GlobalEstimator:
     """Apply the density assumptions of section 5.7."""
 

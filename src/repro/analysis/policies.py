@@ -161,6 +161,43 @@ class PolicyAnalysis:
                 result.setdefault(policy.value, []).append(openness)
         return result
 
+    def export_openness_from_matrix(
+        self,
+        matrix,
+        rs_members: Optional[Mapping[str, Sequence[int]]] = None,
+    ) -> Dict[str, List[float]]:
+        """Figure 11 from the shared
+        :class:`~repro.runtime.reachmatrix.ReachabilityMatrix` artifact.
+
+        Pass *rs_members* (the populations the object path is called
+        with) to reproduce :meth:`export_openness_by_policy` exactly —
+        the plane then answers from the exact merged policy.  Without
+        it, the population defaults to each plane's member universe
+        (answered from the row popcount), which can be a superset of a
+        ground-truth RS-member list when the looking-glass summary
+        surfaced additional members.
+        """
+        result: Dict[str, List[float]] = {}
+        for ixp_name in sorted(matrix.planes):
+            plane = matrix.planes[ixp_name]
+            if rs_members is not None:
+                members = list(rs_members.get(ixp_name, []))
+                if not members:
+                    continue
+            else:
+                members = None
+                if not plane.num_members:
+                    continue
+            universe = plane.index.universe
+            for bit in sorted(plane.policies):
+                asn = universe[bit]
+                policy = self.peeringdb.policy_of(asn)
+                if policy is PeeringPolicy.UNKNOWN:
+                    continue
+                result.setdefault(policy.value, []).append(
+                    plane.openness(asn, members))
+        return result
+
     @staticmethod
     def mean_openness(openness_by_policy: Mapping[str, Sequence[float]]
                       ) -> Dict[str, float]:

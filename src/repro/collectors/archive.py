@@ -46,6 +46,10 @@ class CollectorArchive:
         #: day -> list of RIB entries
         self._dumps: Dict[int, List[RibEntry]] = {}
         self._updates: List[UpdateMessage] = []
+        #: min_days -> stable / clean-stable entry lists (cleared on
+        #: every archive mutation).
+        self._stable_cache: Dict[int, List[RibEntry]] = {}
+        self._clean_cache: Dict[int, List[RibEntry]] = {}
 
     # -- population ------------------------------------------------------------------
 
@@ -56,6 +60,7 @@ class CollectorArchive:
         ``transient_fraction`` injects short-lived entries (present on a
         single day only) to exercise the transient-path filter.
         """
+        self._invalidate()
         base_entries: List[RibEntry] = []
         for collector in self.collectors:
             base_entries.extend(collector.table_dump(propagation))
@@ -71,7 +76,13 @@ class CollectorArchive:
 
     def add_entry(self, day: int, entry: RibEntry) -> None:
         """Add a single entry to a specific day's dump."""
+        self._invalidate()
         self._dumps.setdefault(day, []).append(entry)
+
+    def _invalidate(self) -> None:
+        """Drop the stable-entry memos after an archive mutation."""
+        self._stable_cache.clear()
+        self._clean_cache.clear()
 
     def _inject_transients(self, base_entries: Sequence[RibEntry],
                            fraction: float) -> None:
@@ -120,7 +131,16 @@ class CollectorArchive:
 
     def stable_entries(self, min_days: int = 2) -> List[RibEntry]:
         """Entries whose (vantage point, prefix, path) persisted for at
-        least *min_days* days — the transient-path filter of section 5."""
+        least *min_days* days — the transient-path filter of section 5.
+
+        The result is memoised per archive state (and per *min_days*):
+        every inference run re-reads the same window, so the filter
+        walk runs once, not once per run.  Treat the returned list as
+        read-only; it is invalidated by :meth:`collect`/:meth:`add_entry`.
+        """
+        cached = self._stable_cache.get(min_days)
+        if cached is not None:
+            return cached
         persistence: Dict[Tuple[int, Prefix, Tuple[int, ...]], Set[int]] = {}
         samples: Dict[Tuple[int, Prefix, Tuple[int, ...]], RibEntry] = {}
         for day, entries in self._dumps.items():
@@ -129,13 +149,23 @@ class CollectorArchive:
                 persistence.setdefault(key, set()).add(day)
                 samples.setdefault(key, entry)
         effective_min = min(min_days, len(self._dumps)) if self._dumps else min_days
-        return [samples[key] for key, days in persistence.items()
-                if len(days) >= effective_min]
+        result = [samples[key] for key, days in persistence.items()
+                  if len(days) >= effective_min]
+        self._stable_cache[min_days] = result
+        return result
 
     def clean_stable_entries(self, min_days: int = 2) -> List[RibEntry]:
-        """Stable entries that also pass the reserved-ASN / cycle filters."""
-        return [entry for entry in self.stable_entries(min_days)
-                if entry.is_clean()]
+        """Stable entries that also pass the reserved-ASN / cycle filters
+        (memoised alongside :meth:`stable_entries`; the bitset inference
+        backend additionally keys its context-level observation planes
+        on this list's identity, which the memo keeps stable)."""
+        cached = self._clean_cache.get(min_days)
+        if cached is not None:
+            return cached
+        result = [entry for entry in self.stable_entries(min_days)
+                  if entry.is_clean()]
+        self._clean_cache[min_days] = result
+        return result
 
     def visible_as_links(self) -> Set[Tuple[int, int]]:
         """AS links visible anywhere in the archived dumps."""

@@ -112,6 +112,10 @@ class ActiveInference:
         ixp_name = self.lg.ixp_name
         collection = ActiveCollection(ixp_name=ixp_name)
         skip = set(skip_members or ())
+        # Queries are accounted as the delta over this collection, so
+        # repeated runs against one (shared) looking glass report the
+        # same per-run cost instead of the LG's cumulative lifetime total.
+        queries_before = self.lg.counter.total
 
         # Step 1: membership.
         for ip_address, asn in self.lg.show_ip_bgp_summary():
@@ -145,7 +149,7 @@ class ActiveInference:
                 collection.observations.setdefault(member, []).append(
                     (prefix, frozenset(route.communities)))
 
-        collection.total_queries = self.lg.counter.total
+        collection.total_queries = self.lg.counter.total - queries_before
         return collection
 
 
@@ -191,6 +195,7 @@ def collect_from_third_party_lg(
     collection = ThirdPartyCollection(ixp_name=ixp_name, lg_asn=lg.asn)
     member_set = set(rs_members)
     per_member_count: Dict[int, int] = {}
+    queries_before = lg.counter.total
     for prefix in lg.prefixes():
         for route in lg.show_ip_bgp_prefix(prefix):
             first_hop = route.learned_from if route.learned_from is not None \
@@ -206,5 +211,5 @@ def collect_from_third_party_lg(
             collection.observations.setdefault(first_hop, []).append(
                 (prefix, rs_communities))
             per_member_count[first_hop] = per_member_count.get(first_hop, 0) + 1
-    collection.total_queries = lg.counter.total
+    collection.total_queries = lg.counter.total - queries_before
     return collection

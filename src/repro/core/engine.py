@@ -44,7 +44,15 @@ from repro.core.reachability import (
 from repro.ixp.community_schemes import SchemeRegistry
 from repro.ixp.looking_glass import ASLookingGlass, RouteServerLookingGlass
 from repro.runtime.bitset import BitsetIndex
-from repro.runtime.context import PipelineContext
+from repro.runtime.context import INFERENCE_BACKENDS, PipelineContext
+from repro.runtime.interning import Interner
+from repro.runtime.reachmatrix import (
+    ReachabilityMatrix,
+    link_provenance,
+    links_union,
+    multi_ixp_overlap,
+    peer_counts_of,
+)
 
 
 @dataclass
@@ -63,11 +71,31 @@ class IXPInference:
     reachabilities: Dict[int, MemberReachability] = field(default_factory=dict)
     links: Tuple[Link, ...] = ()
     active_queries: int = 0
+    #: memoised frozenset of ``links`` (treat the inference as immutable
+    #: once the engine returns it).
+    _link_set: Optional[FrozenSet[Link]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def num_links(self) -> int:
         """Number of MLP links inferred at this IXP."""
         return len(self.links)
+
+    def link_set(self) -> FrozenSet[Link]:
+        """The links as a (memoised) frozenset, for O(1) membership."""
+        if self._link_set is None:
+            self._link_set = frozenset(self.links)
+        return self._link_set
+
+    def has_link(self, a: int, b: int) -> bool:
+        """Whether the (unordered) pair was inferred at this IXP."""
+        return (min(a, b), max(a, b)) in self.link_set()
+
+    def provenance_of(self, member_asn: int) -> FrozenSet[str]:
+        """Observation sources behind a member's reachability
+        ("passive" / "active" / "third-party"; empty if uncovered)."""
+        reach = self.reachabilities.get(member_asn)
+        return frozenset(reach.sources) if reach is not None else frozenset()
 
     def covered_members(self) -> Tuple[int, ...]:
         """Members with a reconstructed reachability, in ascending ASN
@@ -91,9 +119,21 @@ class IXPInference:
 
 @dataclass
 class MLPInferenceResult:
-    """The combined result across all IXPs."""
+    """The combined result across all IXPs.
+
+    Results are immutable once the engine returns them; the derived
+    views below (``all_links``, ``multi_ixp_links``, ``link_ixps``,
+    ``peer_counts``, ``all_member_asns``) are computed once and
+    memoised, so repeated consumers (every figure analysis reads the
+    global link set) never re-sort.
+    """
 
     per_ixp: Dict[str, IXPInference] = field(default_factory=dict)
+    #: inference backend that produced the result (provenance only —
+    #: backends are bit-identical, so it is excluded from equality).
+    inference_backend: str = field(default="object", compare=False)
+    _derived: Dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False)
 
     def ixp(self, ixp_name: str) -> IXPInference:
         """The per-IXP inference for *ixp_name*."""
@@ -106,45 +146,91 @@ class MLPInferenceResult:
                       key=lambda name: (-self.per_ixp[name].num_links, name))
 
     def all_links(self) -> Tuple[Link, ...]:
-        """De-duplicated union of the per-IXP links, in ascending order."""
-        links: Set[Link] = set()
-        for inference in self.per_ixp.values():
-            links.update(inference.links)
-        return tuple(sorted(links))
+        """De-duplicated union of the per-IXP links, ascending (memoised)."""
+        cached = self._derived.get("all_links")
+        if cached is None:
+            cached = links_union(self.links_by_ixp())
+            self._derived["all_links"] = cached
+        return cached
 
     def links_by_ixp(self) -> Dict[str, Tuple[Link, ...]]:
         """Per-IXP sorted link tuples."""
         return {name: inference.links
                 for name, inference in self.per_ixp.items()}
 
+    def link_ixps(self) -> Dict[Link, Tuple[str, ...]]:
+        """Link -> sorted names of the IXPs it was inferred at (memoised)
+        — cheap link provenance for the hybrid/overlap analyses.  Treat
+        the returned mapping as read-only."""
+        cached = self._derived.get("link_ixps")
+        if cached is None:
+            cached = link_provenance(self.links_by_ixp())
+            self._derived["link_ixps"] = cached
+        return cached
+
+    def ixps_of_link(self, a: int, b: int) -> Tuple[str, ...]:
+        """The IXPs that inferred the (unordered) pair, sorted by name."""
+        return self.link_ixps().get((min(a, b), max(a, b)), ())
+
     def multi_ixp_links(self) -> Tuple[Link, ...]:
         """Links inferred at more than one IXP (the overlap the paper
-        quantifies: 11,821 links appear at multiple IXPs), ascending."""
-        seen: Dict[Link, int] = {}
-        for inference in self.per_ixp.values():
-            for link in inference.links:
-                seen[link] = seen.get(link, 0) + 1
-        return tuple(sorted(link for link, count in seen.items() if count > 1))
+        quantifies: 11,821 links appear at multiple IXPs), ascending
+        (memoised)."""
+        cached = self._derived.get("multi_ixp_links")
+        if cached is None:
+            cached = multi_ixp_overlap(self.link_ixps())
+            self._derived["multi_ixp_links"] = cached
+        return cached
 
     def all_member_asns(self) -> Tuple[int, ...]:
-        """Every ASN involved in at least one inferred link, ascending."""
-        asns: Set[int] = set()
-        for link in self.all_links():
-            asns.update(link)
-        return tuple(sorted(asns))
+        """Every ASN involved in at least one inferred link, ascending
+        (memoised)."""
+        cached = self._derived.get("all_member_asns")
+        if cached is None:
+            asns: Set[int] = set()
+            for link in self.all_links():
+                asns.update(link)
+            cached = tuple(sorted(asns))
+            self._derived["all_member_asns"] = cached
+        return cached
 
     def total_links(self) -> int:
         """Sum of per-IXP link counts (larger than the de-duplicated count)."""
         return sum(inference.num_links for inference in self.per_ixp.values())
 
+    def identical_to(self, other: "MLPInferenceResult") -> bool:
+        """Full bit-identity with *other*: links, per-IXP link sets,
+        Table 2 rows, member/provenance sets, reachability objects and
+        query spend.  This is the one authoritative predicate the
+        differential tests, benches and ``run_all.py``'s
+        ``inference_matrix`` gate all share — extend it here, not in a
+        caller, when results grow new fields."""
+        if set(self.per_ixp) != set(other.per_ixp):
+            return False
+        if self.links_by_ixp() != other.links_by_ixp():
+            return False
+        if self.table2() != other.table2():
+            return False
+        for name in self.per_ixp:
+            left, right = self.per_ixp[name], other.per_ixp[name]
+            if (left.members != right.members
+                    or left.passive_members != right.passive_members
+                    or left.active_members != right.active_members
+                    or left.active_queries != right.active_queries
+                    or left.covered_members() != right.covered_members()
+                    or left.reachabilities != right.reachabilities):
+                return False
+        return True
+
     def peer_counts(self) -> Dict[int, int]:
         """Per-AS number of distinct inferred MLP peers (figure 6's x-axis).
-        Keys are in ascending ASN order, so iteration is deterministic."""
-        counts: Dict[int, int] = {}
-        for a, b in self.all_links():
-            counts[a] = counts.get(a, 0) + 1
-            counts[b] = counts.get(b, 0) + 1
-        return {asn: counts[asn] for asn in sorted(counts)}
+        Keys are in ascending ASN order, so iteration is deterministic
+        (memoised; treat the returned mapping as read-only)."""
+        cached = self._derived.get("peer_counts")
+        if cached is None:
+            cached = peer_counts_of(self.all_links())
+            self._derived["peer_counts"] = cached
+        return cached
 
     def table2(self, ixp_ases: Optional[Mapping[str, int]] = None,
                ixp_has_lg: Optional[Mapping[str, bool]] = None) -> List[Dict[str, object]]:
@@ -172,6 +258,7 @@ class MLPInferenceEngine:
         max_prefixes_per_member: int = 100,
         context: Optional[PipelineContext] = None,
         backend: Optional[str] = None,
+        inference_backend: Optional[str] = None,
     ) -> None:
         self.registry = registry
         self.rs_members: Dict[str, Set[int]] = {
@@ -182,13 +269,24 @@ class MLPInferenceEngine:
         self.sample_fraction = sample_fraction
         self.max_prefixes_per_member = max_prefixes_per_member
         #: Optional shared runtime context; when present its cached
-        #: member bitset indices are reused across run() invocations.
+        #: member bitset indices (and, for the bitset backend, its
+        #: observation-plane cache) are reused across run() invocations.
         self.context = context
         #: Propagation backend of the measurement substrate this engine
         #: consumes (provenance for reports/benchmarks; ``None`` falls
         #: back to the context's backend, or "frontier").
         self.backend = backend if backend is not None else getattr(
             context, "backend", "frontier")
+        #: Inference data plane: "object" (per-IXP dict/set reference
+        #: engine) or "bitset" (interned observation planes + reciprocal
+        #: M & M.T matrix kernel); ``None`` falls back to the context's
+        #: default.  Both produce bit-identical results.
+        self.inference_backend = inference_backend if inference_backend \
+            is not None else getattr(context, "inference_backend", "object")
+        if self.inference_backend not in INFERENCE_BACKENDS:
+            raise ValueError(
+                f"unknown inference backend {self.inference_backend!r} "
+                f"(choose from {INFERENCE_BACKENDS})")
 
     # -- pipeline ---------------------------------------------------------------------
 
@@ -210,10 +308,17 @@ class MLPInferenceEngine:
         pool: the engine (minus its runtime context) is shipped to each
         worker once, every IXP becomes one task, and results are merged
         in sorted-IXP order — identical output to the in-process loop.
+        (The bitset backend runs its vectorized plane in-process — the
+        post-collection arithmetic is too cheap to shard — but accepts
+        ``workers`` for interface parity.)
         """
         rs_looking_glasses = dict(rs_looking_glasses or {})
         third_party_lgs = {name: list(lgs)
                            for name, lgs in (third_party_lgs or {}).items()}
+
+        if self.inference_backend == "bitset":
+            return self._run_bitset(passive_entries, rs_looking_glasses,
+                                    third_party_lgs, require_reciprocity)
 
         passive_by_ixp = self._run_passive(passive_entries)
         result = MLPInferenceResult()
@@ -301,6 +406,144 @@ class MLPInferenceEngine:
             ixp_name, inference.reachabilities, inference.members,
             require_reciprocity)
         return inference
+
+    # -- bitset data plane ---------------------------------------------------
+
+    def _run_bitset(
+        self,
+        passive_entries: Optional[Iterable[RibEntry]],
+        rs_looking_glasses: Dict[str, RouteServerLookingGlass],
+        third_party_lgs: Dict[str, List[ASLookingGlass]],
+        require_reciprocity: bool,
+    ) -> MLPInferenceResult:
+        """The vectorized inference path: interned observation planes,
+        merged once per scenario (cached on the context), links from the
+        reciprocal ``M & M.T`` kernel.  Output is bit-identical to the
+        object path; ``require_reciprocity`` is applied downstream of
+        the plane cache, so the ablation shares the collected planes.
+        """
+        from repro.core.planes import PlaneCacheKey
+        entries = None
+        if passive_entries is not None:
+            entries = passive_entries if isinstance(passive_entries, list) \
+                else list(passive_entries)
+        key = PlaneCacheKey(
+            passive_entries=entries,
+            rs_looking_glasses=rs_looking_glasses,
+            third_party_lgs=third_party_lgs,
+            sample_fraction=self.sample_fraction,
+            max_prefixes_per_member=self.max_prefixes_per_member,
+            rs_members=self.rs_members,
+            relationships=self.relationships,
+            registry=self.registry,
+            registry_version=self.registry.version,
+            mappers=self.interpreter.mappers,
+        )
+        merged = None
+        if self.context is not None:
+            merged = self.context.cached_inference_planes(key)
+        if merged is None:
+            merged = self._build_merged_planes(
+                entries, rs_looking_glasses, third_party_lgs)
+            if self.context is not None:
+                self.context.store_inference_planes(key, merged)
+
+        result = MLPInferenceResult(inference_backend="bitset")
+        matrix_planes = {}
+        links_by_ixp = {}
+        for ixp_name in sorted(self.rs_members):
+            data = merged[ixp_name]
+            links = data.plane.links(require_reciprocity)
+            result.per_ixp[ixp_name] = IXPInference(
+                ixp_name=ixp_name,
+                members=set(data.members),
+                passive_members=set(data.passive_members),
+                active_members=set(data.active_members),
+                reachabilities=dict(data.reachabilities),
+                links=links,
+                active_queries=data.active_queries,
+            )
+            matrix_planes[ixp_name] = data.plane
+            links_by_ixp[ixp_name] = links
+        if self.context is not None:
+            self.context.store_reachability_matrix(
+                result, ReachabilityMatrix(
+                    matrix_planes, links_by_ixp=links_by_ixp,
+                    built_by="bitset"))
+        return result
+
+    def _build_merged_planes(
+        self,
+        passive_entries: Optional[List[RibEntry]],
+        rs_looking_glasses: Dict[str, RouteServerLookingGlass],
+        third_party_lgs: Dict[str, List[ASLookingGlass]],
+    ):
+        """Collect and merge the per-IXP observation planes (the cached
+        unit of the bitset backend)."""
+        from repro.core.planes import (
+            ACTIVE,
+            THIRD_PARTY,
+            MergedPlane,
+            ObservationPlane,
+            PolicyTable,
+            build_reachability_plane,
+            extract_passive_planes,
+            merge_rows,
+            rows_from_raw_observations,
+        )
+        prefixes = self.context.prefixes if self.context is not None \
+            else Interner()
+        policies = PolicyTable()
+        observation_planes: Dict[str, ObservationPlane] = {}
+        extract_passive_planes(passive_entries, self.interpreter,
+                               self.relationships, prefixes, policies,
+                               observation_planes)
+
+        merged: Dict[str, MergedPlane] = {}
+        for ixp_name, members in sorted(self.rs_members.items()):
+            plane = observation_planes.get(ixp_name)
+            if plane is None:
+                plane = ObservationPlane(ixp_name=ixp_name)
+            plane.members = set(members)
+            rs_lg = rs_looking_glasses.get(ixp_name)
+            if rs_lg is not None:
+                active = ActiveInference(
+                    rs_lg,
+                    sample_fraction=self.sample_fraction,
+                    max_prefixes_per_member=self.max_prefixes_per_member)
+                collection = active.collect(
+                    skip_members=plane.passive_members,
+                    covered_prefixes=plane.covered_prefixes)
+                plane.rows.extend(rows_from_raw_observations(
+                    ixp_name, collection.observations, self.interpreter,
+                    prefixes, policies, ACTIVE))
+                plane.active_members = collection.members_with_communities()
+                plane.active_queries = collection.total_queries
+                plane.members |= collection.members
+            else:
+                for lg in third_party_lgs.get(ixp_name, []):
+                    collection = collect_from_third_party_lg(
+                        ixp_name, lg, members, self.interpreter)
+                    plane.rows.extend(rows_from_raw_observations(
+                        ixp_name, collection.observations, self.interpreter,
+                        prefixes, policies, THIRD_PARTY))
+                    plane.active_members |= \
+                        collection.members_with_communities()
+                    plane.active_queries += collection.total_queries
+            reachabilities = merge_rows(
+                ixp_name, plane.rows, plane.members, policies, prefixes)
+            merged[ixp_name] = MergedPlane(
+                ixp_name=ixp_name,
+                members=plane.members,
+                passive_members=set(plane.passive_members),
+                active_members=set(plane.active_members),
+                active_queries=plane.active_queries,
+                reachabilities=reachabilities,
+                plane=build_reachability_plane(
+                    plane, reachabilities,
+                    self._member_index(ixp_name, plane.members)),
+            )
+        return merged
 
     def __getstate__(self):
         # The runtime context holds process-local caches (and is shared

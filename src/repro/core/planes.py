@@ -1,0 +1,395 @@
+"""The bitset inference data plane: interned observation planes.
+
+The object engine (:class:`~repro.core.engine.MLPInferenceEngine` with
+``inference_backend="object"``) materialises one
+:class:`~repro.core.reachability.PolicyObservation` per observed
+(member, prefix) pair and merges them with per-member set arithmetic.
+This module is the vectorized counterpart: observations become
+``(member, prefix id, policy id, source code)`` tuples over shared
+interners, passive extraction is fused (clean-filter, IXP attribution,
+setter pin-pointing and community interpretation collapse into one memo
+keyed on the distinct ``(AS path, community bag)`` pairs — collector
+archives repeat each pair once per exported prefix), and the merged
+per-member policies scatter into a
+:class:`~repro.runtime.reachmatrix.ReachabilityPlane` whose reciprocal
+``M & M.T`` kernel emits the links.
+
+Bit-identity with the object path is non-negotiable: the fast merge
+only takes the direct route for members whose observations all carry
+one distinct policy (the overwhelming majority); members with mixed
+policies fall back to the *same*
+:func:`~repro.core.reachability.merge_observations` code the object
+engine runs, so inconsistent-announcement handling can never drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.messages import RibEntry
+from repro.bgp.policy import Relationship
+from repro.bgp.prefix import Prefix
+from repro.core.communities import RSCommunityInterpreter
+from repro.core.passive import PassiveInference
+from repro.core.reachability import (
+    MODE_ALL_EXCEPT,
+    MemberReachability,
+    PolicyObservation,
+    merge_observations,
+)
+from repro.runtime.bitset import BitsetIndex
+from repro.runtime.interning import Interner
+from repro.runtime.reachmatrix import ReachabilityPlane, allow_mask_for
+
+#: Source codes of observation rows (indexes into SOURCE_NAMES).
+SOURCE_NAMES = ("passive", "active", "third-party")
+PASSIVE, ACTIVE, THIRD_PARTY = range(3)
+
+#: One interned observation: (member ASN, prefix id, policy id, source).
+Row = Tuple[int, int, int, int]
+
+#: The default policy of an announcement without interpretable RS
+#: communities: export to everyone.
+DEFAULT_POLICY = (MODE_ALL_EXCEPT, frozenset())
+
+
+class PolicyTable:
+    """Interner of distinct ``(mode, listed)`` export policies."""
+
+    __slots__ = ("_interner",)
+
+    def __init__(self) -> None:
+        self._interner = Interner()
+
+    def intern(self, mode: str, listed: FrozenSet[int]) -> int:
+        return self._interner.intern((mode, listed))
+
+    def policy(self, policy_id: int) -> Tuple[str, FrozenSet[int]]:
+        return self._interner.value_of(policy_id)
+
+    def __len__(self) -> int:
+        return len(self._interner)
+
+
+@dataclass
+class ObservationPlane:
+    """One IXP's raw observation rows plus collection metadata."""
+
+    ixp_name: str
+    rows: List[Row] = field(default_factory=list)
+    #: setters of passive observations (unfiltered, as the object path).
+    passive_members: Set[int] = field(default_factory=set)
+    #: members whose communities active collection exposed.
+    active_members: Set[int] = field(default_factory=set)
+    #: per-setter prefixes covered passively (actual Prefix objects:
+    #: the active query planner consumes them).
+    covered_prefixes: Dict[int, Set[Prefix]] = field(default_factory=dict)
+    #: member population after the LG summary was consulted.
+    members: Set[int] = field(default_factory=set)
+    active_queries: int = 0
+
+
+@dataclass
+class MergedPlane:
+    """One IXP's post-merge state, ready for per-call result assembly."""
+
+    ixp_name: str
+    members: Set[int]
+    passive_members: Set[int]
+    active_members: Set[int]
+    active_queries: int
+    reachabilities: Dict[int, MemberReachability]
+    plane: ReachabilityPlane
+
+
+@dataclass
+class PlaneCacheKey:
+    """Identity of one bitset-plane computation on a shared context.
+
+    Two engine runs may reuse cached planes only when every collection
+    input is the same: the passive entry list (by object identity — the
+    archive memoises it), the looking glasses (by identity per LG *and*
+    by a view signature capturing their membership/route-table sizes,
+    so re-announcements between runs force recollection), the sampling
+    knobs, and the interpretation inputs (members, relationships,
+    registry, mappers, by value).  ``matches`` errs on the side of
+    recomputation.
+    """
+
+    passive_entries: Optional[Sequence[RibEntry]]
+    rs_looking_glasses: Mapping[str, object]
+    third_party_lgs: Mapping[str, Sequence[object]]
+    sample_fraction: float
+    max_prefixes_per_member: int
+    rs_members: Mapping[str, Set[int]]
+    relationships: Mapping[Tuple[int, int], Relationship]
+    registry: object
+    registry_version: int
+    mappers: Mapping[str, object]
+    lg_signature: Tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.lg_signature:
+            self.lg_signature = lg_view_signature(
+                self.rs_looking_glasses, self.third_party_lgs)
+
+    def matches(self, other: "PlaneCacheKey") -> bool:
+        if self.passive_entries is None or other.passive_entries is None:
+            if (self.passive_entries is None) != (other.passive_entries is None):
+                return False
+        elif self.passive_entries is not other.passive_entries:
+            return False
+        return (self.rs_looking_glasses == other.rs_looking_glasses
+                and self.third_party_lgs == other.third_party_lgs
+                and self.lg_signature == other.lg_signature
+                and self.sample_fraction == other.sample_fraction
+                and self.max_prefixes_per_member == other.max_prefixes_per_member
+                and self.rs_members == other.rs_members
+                and self.registry is other.registry
+                and self.registry_version == other.registry_version
+                and self.mappers == other.mappers
+                and self.relationships == other.relationships)
+
+
+def lg_view_signature(
+    rs_looking_glasses: Mapping[str, object],
+    third_party_lgs: Mapping[str, Sequence[object]],
+) -> Tuple:
+    """A cheap signature of the looking glasses' current views.
+
+    Captures each route server's and member LG's mutation counter
+    (``RouteServer.version`` / ``ASLookingGlass.version``), so *any*
+    membership/RIB/view change between runs on one scenario — including
+    in-place re-announcements that leave route counts unchanged —
+    invalidates the cached planes (LG objects compare by identity,
+    which alone cannot see such mutations).
+    """
+    rs_parts = tuple(
+        (name, rs_looking_glasses[name].route_server.version)
+        for name in sorted(rs_looking_glasses))
+    third_parts = tuple(
+        (name, tuple(lg.version for lg in third_party_lgs[name]))
+        for name in sorted(third_party_lgs))
+    return (rs_parts, third_parts)
+
+
+# -- passive extraction --------------------------------------------------------
+
+
+def extract_passive_planes(
+    entries: Optional[Sequence[RibEntry]],
+    interpreter: RSCommunityInterpreter,
+    relationships: Mapping[Tuple[int, int], Relationship],
+    prefixes: Interner,
+    policies: PolicyTable,
+    planes: Dict[str, ObservationPlane],
+) -> None:
+    """Scatter archived RIB entries into per-IXP observation planes.
+
+    Fuses ``PassiveInference.extract`` + ``policy_observations`` into
+    one pass: per distinct (AS path, community bag) the clean filter,
+    IXP attribution, setter pin-pointing and policy interpretation run
+    once; every further entry carrying the pair only appends an
+    interned row.  Row content and order are identical to the object
+    path's per-IXP observation lists.
+    """
+    if entries is None:
+        return
+    passive = PassiveInference(interpreter, relationships)
+    # (path asns, community bag) -> None (filtered) or
+    # (ixp name, setter ASN, policy id).
+    skeletons: Dict[Tuple[Tuple[int, ...], FrozenSet], Optional[Tuple]] = {}
+    for entry in entries:
+        key = (entry.as_path.asns, entry.communities)
+        skeleton = skeletons.get(key, _MISS)
+        if skeleton is _MISS:
+            skeleton = _passive_skeleton(entry, interpreter, passive, policies)
+            skeletons[key] = skeleton
+        if skeleton is None:
+            continue
+        ixp_name, setter, policy_id = skeleton
+        plane = planes.get(ixp_name)
+        if plane is None:
+            plane = planes[ixp_name] = ObservationPlane(ixp_name=ixp_name)
+        plane.rows.append((setter, prefixes.intern(entry.prefix),
+                           policy_id, PASSIVE))
+        plane.passive_members.add(setter)
+        plane.covered_prefixes.setdefault(setter, set()).add(entry.prefix)
+
+
+_MISS = object()
+
+
+def _passive_skeleton(
+    entry: RibEntry,
+    interpreter: RSCommunityInterpreter,
+    passive: PassiveInference,
+    policies: PolicyTable,
+) -> Optional[Tuple[str, int, int]]:
+    """The prefix-independent outcome of the passive pipeline for one
+    distinct (AS path, community bag) pair."""
+    if not entry.is_clean():
+        return None
+    if not entry.communities:
+        return None
+    identification = interpreter.identify_unique_ixp(entry.communities)
+    if identification is None:
+        return None
+    ixp_name = identification.ixp_name
+    setter = passive.identify_setter(ixp_name, entry)
+    if setter is None:
+        return None
+    rs_communities = interpreter.rs_communities_only(
+        ixp_name, entry.communities)
+    interpreted = interpreter.interpret_for_ixp(ixp_name, rs_communities)
+    if interpreted is None:
+        policy_id = policies.intern(*DEFAULT_POLICY)
+    else:
+        policy_id = policies.intern(interpreted.mode, interpreted.listed)
+    return ixp_name, setter, policy_id
+
+
+def rows_from_raw_observations(
+    ixp_name: str,
+    observations: Mapping[int, Sequence[Tuple[Prefix, FrozenSet]]],
+    interpreter: RSCommunityInterpreter,
+    prefixes: Interner,
+    policies: PolicyTable,
+    source: int,
+) -> List[Row]:
+    """Interned rows for an active/third-party raw collection, in the
+    same member/prefix order as ``interpret_raw_observations``."""
+    rows: List[Row] = []
+    for member_asn, entries in observations.items():
+        for prefix, communities in entries:
+            interpreted = interpreter.interpret_for_ixp(ixp_name, communities)
+            if interpreted is None:
+                policy_id = policies.intern(*DEFAULT_POLICY)
+            else:
+                policy_id = policies.intern(
+                    interpreted.mode, interpreted.listed)
+            rows.append((member_asn, prefixes.intern(prefix),
+                         policy_id, source))
+    return rows
+
+
+# -- merge ---------------------------------------------------------------------
+
+
+def merge_rows(
+    ixp_name: str,
+    rows: Sequence[Row],
+    members: Set[int],
+    policies: PolicyTable,
+    prefixes: Interner,
+) -> Dict[int, MemberReachability]:
+    """Merge interned observation rows into per-member reachabilities.
+
+    Equivalent to grouping ``PolicyObservation`` objects by member and
+    calling :func:`merge_observations` per member — and literally *is*
+    that for members with more than one distinct policy; the single
+    policy fast path skips object materialisation entirely.
+    """
+    grouped: Dict[int, List[Row]] = {}
+    for row in rows:
+        member_asn = row[0]
+        if members and member_asn not in members:
+            continue
+        grouped.setdefault(member_asn, []).append(row)
+
+    reachabilities: Dict[int, MemberReachability] = {}
+    for member_asn, member_rows in grouped.items():
+        policy_ids = {row[2] for row in member_rows}
+        if len(policy_ids) == 1:
+            mode, listed = policies.policy(next(iter(policy_ids)))
+            prefix_ids = {row[1] for row in member_rows if row[1] is not None}
+            reachabilities[member_asn] = MemberReachability(
+                member_asn=member_asn,
+                ixp_name=ixp_name,
+                mode=mode,
+                listed=listed,
+                sources=frozenset(SOURCE_NAMES[row[3]] for row in member_rows),
+                prefixes_observed=(len(prefix_ids) if prefix_ids
+                                   else len(member_rows)),
+                inconsistent_prefixes=0,
+            )
+            continue
+        # Mixed policies (the <0.5% inconsistency tail): rebuild the
+        # observation objects and run the reference merge.
+        observations = []
+        for asn, prefix_id, policy_id, source in member_rows:
+            mode, listed = policies.policy(policy_id)
+            observations.append(PolicyObservation(
+                member_asn=asn, ixp_name=ixp_name,
+                prefix=(prefixes.value_of(prefix_id)
+                        if prefix_id is not None else None),
+                mode=mode, listed=listed,
+                source=SOURCE_NAMES[source]))
+        merged = merge_observations(observations, members)
+        if merged is not None:
+            reachabilities[member_asn] = merged
+    return reachabilities
+
+
+# -- plane assembly ------------------------------------------------------------
+
+
+def build_reachability_plane(
+    observation_plane: ObservationPlane,
+    reachabilities: Dict[int, MemberReachability],
+    index: BitsetIndex,
+) -> ReachabilityPlane:
+    """Scatter merged reachabilities into the bitmask ALLOW plane."""
+    plane = ReachabilityPlane(
+        ixp_name=observation_plane.ixp_name,
+        index=index,
+        passive_members=frozenset(observation_plane.passive_members),
+        active_members=frozenset(observation_plane.active_members),
+        passive_mask=index.mask_of(observation_plane.passive_members),
+        active_mask=index.mask_of(observation_plane.active_members),
+        active_queries=observation_plane.active_queries,
+    )
+    mask_memo: Dict[Tuple[str, FrozenSet[int]], int] = {}
+    for asn, reach in reachabilities.items():
+        bit = index.bit_of.get(asn)
+        if bit is None:
+            continue
+        policy = (reach.mode, reach.listed)
+        base = mask_memo.get(policy)
+        if base is None:
+            base = allow_mask_for(reach.mode, reach.listed, index)
+            mask_memo[policy] = base
+        plane.allow_rows[bit] = base & ~(1 << bit)
+        plane.policies[bit] = policy
+        plane.sources[bit] = frozenset(reach.sources)
+        plane.prefixes_observed[bit] = reach.prefixes_observed
+        plane.inconsistent[bit] = reach.inconsistent_prefixes
+        plane.covered_mask |= 1 << bit
+        if "third-party" in reach.sources:
+            plane.third_party_mask |= 1 << bit
+    for row in observation_plane.rows:
+        bit = index.bit_of.get(row[0])
+        if bit is not None:
+            plane.observation_counts[bit] = \
+                plane.observation_counts.get(bit, 0) + 1
+    return plane
+
+
+def reachabilities_from_plane(plane: ReachabilityPlane
+                              ) -> Dict[int, MemberReachability]:
+    """The object-level view of a plane (bit-identical reconstruction)."""
+    universe = plane.index.universe
+    result: Dict[int, MemberReachability] = {}
+    for bit in sorted(plane.policies):
+        mode, listed = plane.policies[bit]
+        result[universe[bit]] = MemberReachability(
+            member_asn=universe[bit],
+            ixp_name=plane.ixp_name,
+            mode=mode,
+            listed=listed,
+            sources=plane.sources.get(bit, frozenset()),
+            prefixes_observed=plane.prefixes_observed.get(bit, 0),
+            inconsistent_prefixes=plane.inconsistent.get(bit, 0),
+        )
+    return result

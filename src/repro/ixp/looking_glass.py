@@ -139,12 +139,16 @@ class ASLookingGlass:
         self.name = name or f"AS{asn}-lg"
         self.counter = LGQueryCounter(max_queries)
         self._routes: Dict[Prefix, List[LGRoute]] = {}
+        #: monotonic mutation counter, bumped whenever the view changes;
+        #: caches keyed on this LG's view validate against it.
+        self.version = 0
 
     # -- view loading ----------------------------------------------------------------
 
     def load_route(self, route: LGRoute) -> None:
         """Add one route to the LG's view."""
         self._routes.setdefault(route.prefix, []).append(route)
+        self.version += 1
 
     def load_routes(self, routes: Iterable[LGRoute]) -> None:
         """Add many routes to the LG's view."""
@@ -190,6 +194,7 @@ class ASLookingGlass:
                         learned_from=r.learned_from)
                 for r in routes
             ]
+        self.version += 1
 
     # -- queries ----------------------------------------------------------------------
 

@@ -68,6 +68,10 @@ class RouteServer:
         #: invalidated whenever membership (and thus the mapper) changes.
         self._classify_cache: Dict[FrozenSet[Community],
                                    Tuple[bool, FrozenSet[int], FrozenSet[int]]] = {}
+        #: monotonic mutation counter, bumped by every membership/RIB
+        #: change; caches keyed on looking-glass views (e.g. the bitset
+        #: inference backend's observation planes) validate against it.
+        self.version = 0
 
     # -- membership ---------------------------------------------------------------
 
@@ -83,6 +87,7 @@ class RouteServer:
         if policy.member_asn != member_asn:
             raise ValueError("policy member ASN does not match the session ASN")
         self._members[member_asn] = policy
+        self.version += 1
         if is_32bit_asn(member_asn):
             self.mapper.register(member_asn)
         if ip_address is None:
@@ -95,6 +100,7 @@ class RouteServer:
     def remove_member(self, member_asn: int) -> None:
         """Tear down a member session and drop its routes."""
         self._members.pop(member_asn, None)
+        self.version += 1
         ip = self._member_ips.pop(member_asn, None)
         if ip is not None:
             self._ip_to_member.pop(ip, None)
@@ -163,6 +169,7 @@ class RouteServer:
             communities=frozenset(communities),
         )
         self._rib.setdefault(prefix, {})[member_asn] = entry
+        self.version += 1
         return entry
 
     def announce_policy_prefixes(self, member_asn: int,
@@ -178,6 +185,7 @@ class RouteServer:
         del per_prefix[member_asn]
         if not per_prefix:
             del self._rib[prefix]
+        self.version += 1
         return True
 
     # -- RIB queries -------------------------------------------------------------------

@@ -1,12 +1,16 @@
 """Per-figure analysis stage: a registry of independent summaries.
 
-Each figure function maps ``(scenario, inference, options)`` to a small,
-picklable summary dict — the numbers behind one table or figure of the
-paper.  Figures are independent of one another, so
-:func:`run_analyses` can fan them out across a process pool: the
-scenario and inference result are shipped once per worker through the
-pool initializer, tasks are just figure names, and the result dict is
-assembled in the requested figure order regardless of completion order.
+Each figure function maps ``(scenario, inference, matrix, options)`` to
+a small, picklable summary dict — the numbers behind one table or
+figure of the paper.  The shared
+:class:`~repro.runtime.reachmatrix.ReachabilityMatrix` artifact carries
+the memoised link views every figure consumes (global link set, per-IXP
+links), so no figure re-walks the inference result object.  Figures are
+independent of one another, so :func:`run_analyses` can fan them out
+across a process pool: the scenario/inference/matrix triple is shipped
+once per worker through the pool initializer, tasks are just figure
+names, and the result dict is assembled in the requested figure order
+regardless of completion order.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.analysis.degrees import DegreeAnalysis
 from repro.analysis.density import density_per_ixp
 from repro.analysis.visibility import VisibilityAnalysis
+from repro.runtime.reachmatrix import ReachabilityMatrix
 
 
 @dataclass(frozen=True)
@@ -32,42 +37,45 @@ class AnalysisOptions:
     density_only_members_with_links: bool = False
 
 
-def _analyse_table2(scenario, inference, options: AnalysisOptions) -> dict:
+def _analyse_table2(scenario, inference, matrix, options: AnalysisOptions) -> dict:
     graph = scenario.graph
     ixp_ases = {spec.name: len(graph.members_of_ixp(spec.name))
                 for spec in scenario.internet.ixp_specs}
     ixp_has_lg = {spec.name: spec.name in scenario.rs_looking_glasses
                   for spec in scenario.internet.ixp_specs}
     return {"rows": inference.table2(ixp_ases=ixp_ases, ixp_has_lg=ixp_has_lg),
-            "total_links": len(inference.all_links()),
-            "multi_ixp_links": len(inference.multi_ixp_links())}
+            "total_links": len(matrix.all_links()),
+            "multi_ixp_links": len(matrix.multi_ixp_links())}
 
 
-def _analyse_visibility(scenario, inference, options: AnalysisOptions) -> dict:
+def _analyse_visibility(scenario, inference, matrix,
+                        options: AnalysisOptions) -> dict:
     analysis = VisibilityAnalysis(
-        mlp_links=inference.all_links(),
+        mlp_links=matrix.all_links(),
         bgp_links=scenario.public_bgp_links(),
         traceroute_links=scenario.traceroute_links(),
     )
     return analysis.report.summary()
 
 
-def _analyse_degrees(scenario, inference, options: AnalysisOptions) -> dict:
+def _analyse_degrees(scenario, inference, matrix,
+                     options: AnalysisOptions) -> dict:
     graph = scenario.graph
     analysis = DegreeAnalysis(
         customer_degree=lambda asn: len(graph.customers(asn)))
-    stats = analysis.analyse(inference.all_links())
+    stats = analysis.analyse(matrix.all_links())
     summary = stats.summary()
     summary["small_degree"] = stats.fraction_small_degree(
         options.small_degree_threshold)
     return summary
 
 
-def _analyse_density(scenario, inference, options: AnalysisOptions) -> dict:
+def _analyse_density(scenario, inference, matrix,
+                     options: AnalysisOptions) -> dict:
     members_by_ixp = {spec.name: scenario.graph.rs_members_of_ixp(spec.name)
                       for spec in scenario.internet.ixp_specs}
     report = density_per_ixp(
-        inference.links_by_ixp(), members_by_ixp,
+        matrix.links_by_ixp(), members_by_ixp,
         only_members_with_links=options.density_only_members_with_links)
     return {"mean_densities": report.mean_densities()}
 
@@ -85,15 +93,15 @@ FIGURES: Dict[str, Callable] = {
 _WORKER_STATE = None
 
 
-def _init_analysis_worker(scenario, inference, options) -> None:
+def _init_analysis_worker(scenario, inference, matrix, options) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (scenario, inference, options)
+    _WORKER_STATE = (scenario, inference, matrix, options)
 
 
 def _run_figure(name: str) -> dict:
     assert _WORKER_STATE is not None, "analysis worker not initialised"
-    scenario, inference, options = _WORKER_STATE
-    return FIGURES[name](scenario, inference, options)
+    scenario, inference, matrix, options = _WORKER_STATE
+    return FIGURES[name](scenario, inference, matrix, options)
 
 
 def run_analyses(
@@ -101,14 +109,22 @@ def run_analyses(
     inference,
     options: Optional[AnalysisOptions] = None,
     workers: Optional[int] = None,
+    matrix: Optional[ReachabilityMatrix] = None,
 ) -> Dict[str, dict]:
-    """Compute the requested figure summaries, optionally sharded."""
+    """Compute the requested figure summaries, optionally sharded.
+
+    *matrix* is the shared reachability artifact; when omitted it is
+    built once from the inference result, so every figure still reads
+    the same memoised link views.
+    """
     options = options or AnalysisOptions()
     names = list(options.figures)
     unknown = [name for name in names if name not in FIGURES]
     if unknown:
         raise ValueError(f"unknown analysis figures: {unknown!r} "
                          f"(available: {sorted(FIGURES)})")
+    if matrix is None:
+        matrix = ReachabilityMatrix.from_result(inference)
 
     from repro.pipeline.shard import resolve_workers
     worker_count = resolve_workers(workers)
@@ -116,10 +132,10 @@ def run_analyses(
         with ProcessPoolExecutor(
             max_workers=min(worker_count, len(names)),
             initializer=_init_analysis_worker,
-            initargs=(scenario, inference, options),
+            initargs=(scenario, inference, matrix, options),
         ) as pool:
             summaries = list(pool.map(_run_figure, names))
     else:
-        summaries = [FIGURES[name](scenario, inference, options)
+        summaries = [FIGURES[name](scenario, inference, matrix, options)
                      for name in names]
     return dict(zip(names, summaries))

@@ -105,11 +105,16 @@ class ScenarioRun:
         analysis_options: Optional[AnalysisOptions] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        inference_backend: Optional[str] = None,
         cache: Optional[ArtifactCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         graph: Optional[StageGraph] = None,
     ) -> None:
         from repro.bgp.propagation import BACKENDS, DEFAULT_BACKEND
+        from repro.runtime.context import (
+            DEFAULT_INFERENCE_BACKEND,
+            INFERENCE_BACKENDS,
+        )
         self.spec = _resolve_spec(scenario)
         self.config = config if config is not None else self.spec.config()
         self.inference_options = inference_options or InferenceOptions()
@@ -127,6 +132,18 @@ class ScenarioRun:
             raise ValueError(
                 f"unknown propagation backend {self.backend!r} "
                 f"(choose from {BACKENDS})")
+        #: Inference backend: explicit argument > spec pin > object.
+        #: Salted into the *inference* stage's fingerprint (namespace
+        #: "inference"), so inference/reachability/analyses artifacts
+        #: never alias across data planes while every upstream stage
+        #: (topology .. connectivity) stays shared.
+        self.inference_backend = inference_backend if inference_backend \
+            is not None else (self.spec.inference_backend
+                              or DEFAULT_INFERENCE_BACKEND)
+        if self.inference_backend not in INFERENCE_BACKENDS:
+            raise ValueError(
+                f"unknown inference backend {self.inference_backend!r} "
+                f"(choose from {INFERENCE_BACKENDS})")
         self.cache = cache if cache is not None else ArtifactCache(
             Path(cache_dir) if cache_dir is not None else None)
         self.graph = graph or self.spec.stage_graph()
@@ -146,7 +163,8 @@ class ScenarioRun:
             config_repr = {key: repr(getattr(self.config, key))
                            for key in sorted(config_keys)}
             options_repr = {
-                "inference": repr(self.inference_options),
+                "inference": (f"{self.inference_options!r}"
+                              f"@backend={self.inference_backend}"),
                 "analysis": repr(self.analysis_options),
                 "backend": repr(self.backend),
             }
@@ -197,6 +215,11 @@ class ScenarioRun:
         """The end-to-end MLP inference result."""
         return self.artifact("inference")
 
+    def reachability(self):
+        """The shared :class:`~repro.runtime.reachmatrix.ReachabilityMatrix`
+        artifact (per-IXP ALLOW planes + provenance) of the inference."""
+        return self.artifact("reachability")
+
     def analyses(self) -> Dict[str, dict]:
         """The per-figure analysis summaries."""
         return self.artifact("analyses")
@@ -208,6 +231,7 @@ class ScenarioRun:
             return summaries["table2"]["rows"]
         from repro.pipeline.analyses import _analyse_table2
         return _analyse_table2(self.scenario(), self.inference(),
+                               self.reachability(),
                                self.analysis_options)["rows"]
 
     # -- introspection --------------------------------------------------------

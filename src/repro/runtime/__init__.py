@@ -37,6 +37,7 @@ from repro.runtime.batched import (
 from repro.runtime.bitset import BitsetIndex
 from repro.runtime.context import PipelineContext
 from repro.runtime.csr import CSRIndex
+from repro.runtime.reachmatrix import ReachabilityMatrix, ReachabilityPlane
 from repro.runtime.frontier import FrontierPropagator, OriginState
 from repro.runtime.interning import Interner
 from repro.runtime.snapshot import (
@@ -60,6 +61,8 @@ __all__ = [
     "PathStore",
     "PipelineContext",
     "PropagationPlan",
+    "ReachabilityMatrix",
+    "ReachabilityPlane",
     "restore_context",
     "snapshot_context",
 ]

@@ -25,20 +25,37 @@ from repro.runtime.stores import PathStore
 PROPAGATION_BACKENDS = ("frontier", "batched", "reference")
 DEFAULT_BACKEND = "frontier"
 
+#: MLP inference backends (the selector semantics live in
+#: :mod:`repro.core.engine`): the per-IXP object engine, or the
+#: vectorized bitset-matrix plane of :mod:`repro.core.planes`.
+INFERENCE_BACKENDS = ("object", "bitset")
+DEFAULT_INFERENCE_BACKEND = "object"
+
+#: Bounded sizes of the context-level inference caches.
+_MAX_INFERENCE_PLANE_ENTRIES = 8
+_MAX_REACHABILITY_MATRICES = 4
+
 
 class PipelineContext:
     """Shared interners, adjacency index and memoised propagation."""
 
     def __init__(self, index: CSRIndex,
-                 backend: str = DEFAULT_BACKEND) -> None:
+                 backend: str = DEFAULT_BACKEND,
+                 inference_backend: str = DEFAULT_INFERENCE_BACKEND) -> None:
         if backend not in PROPAGATION_BACKENDS:
             raise ValueError(
                 f"unknown propagation backend {backend!r} "
                 f"(choose from {PROPAGATION_BACKENDS})")
+        if inference_backend not in INFERENCE_BACKENDS:
+            raise ValueError(
+                f"unknown inference backend {inference_backend!r} "
+                f"(choose from {INFERENCE_BACKENDS})")
         #: the CSR adjacency index (owns the ASN interner and bag store).
         self.index = index
         #: default propagation backend for engines built off this context.
         self.backend = backend
+        #: default MLP inference backend for engines built off this context.
+        self.inference_backend = inference_backend
         #: ASN interner (node ids ascend with ASN value).
         self.asns = index.asns
         #: community-bag store shared with the index's edge bags.
@@ -54,21 +71,32 @@ class PipelineContext:
         #: (origin, origin bag, record signature) -> recorded fragments.
         self._route_cache: Dict[Tuple, Tuple] = {}
         self._member_indices: Dict[Hashable, Tuple[frozenset, BitsetIndex]] = {}
+        #: bitset-backend observation planes: (PlaneCacheKey, planes)
+        #: pairs, newest last (see repro.core.planes.PlaneCacheKey).
+        self._inference_planes: list = []
+        #: (inference result, ReachabilityMatrix) pairs, newest last.
+        self._reachability_matrices: list = []
 
     # -- construction --------------------------------------------------------
 
     @classmethod
     def from_adjacencies(cls, adjacencies: Iterable[object],
-                         backend: str = DEFAULT_BACKEND) -> "PipelineContext":
+                         backend: str = DEFAULT_BACKEND,
+                         inference_backend: str = DEFAULT_INFERENCE_BACKEND,
+                         ) -> "PipelineContext":
         """Build a context from directed adjacency records."""
-        return cls(CSRIndex.from_adjacencies(adjacencies), backend=backend)
+        return cls(CSRIndex.from_adjacencies(adjacencies), backend=backend,
+                   inference_backend=inference_backend)
 
     @classmethod
     def from_graph(cls, graph, rs_community_provider=None,
-                   backend: str = DEFAULT_BACKEND) -> "PipelineContext":
+                   backend: str = DEFAULT_BACKEND,
+                   inference_backend: str = DEFAULT_INFERENCE_BACKEND,
+                   ) -> "PipelineContext":
         """Build a context from an :class:`~repro.topology.as_graph.ASGraph`."""
         return cls(graph.build_index(
-            rs_community_provider=rs_community_provider), backend=backend)
+            rs_community_provider=rs_community_provider), backend=backend,
+            inference_backend=inference_backend)
 
     # -- propagation ---------------------------------------------------------
 
@@ -115,6 +143,46 @@ class PipelineContext:
 
     # -- inference support ---------------------------------------------------
 
+    def cached_inference_planes(self, key):
+        """The stored planes whose cache key ``matches`` *key* (or None).
+
+        Keys are :class:`repro.core.planes.PlaneCacheKey`-shaped (duck
+        typed: anything with a ``matches`` method); holding the keyed
+        input objects strongly in the entry makes the identity
+        comparisons inside ``matches`` safe against id reuse.
+        """
+        for stored_key, value in self._inference_planes:
+            if stored_key.matches(key):
+                return value
+        return None
+
+    def store_inference_planes(self, key, value) -> None:
+        """Remember the bitset observation planes computed under *key*."""
+        self._inference_planes.append((key, value))
+        if len(self._inference_planes) > _MAX_INFERENCE_PLANE_ENTRIES:
+            self._inference_planes.pop(0)
+
+    def reachability_matrix(self, result):
+        """The (cached) :class:`~repro.runtime.reachmatrix.ReachabilityMatrix`
+        of *result* — the shared artifact the section-5 analyses consume.
+
+        Keyed by result identity: the bitset engine pre-populates the
+        cache with its natively built planes, so the usual call pattern
+        (inference stage -> reachability stage) never rebuilds."""
+        for stored, matrix in self._reachability_matrices:
+            if stored is result:
+                return matrix
+        from repro.runtime.reachmatrix import ReachabilityMatrix
+        matrix = ReachabilityMatrix.from_result(result, context=self)
+        self.store_reachability_matrix(result, matrix)
+        return matrix
+
+    def store_reachability_matrix(self, result, matrix) -> None:
+        """Associate a pre-built matrix with its inference result."""
+        self._reachability_matrices.append((result, matrix))
+        if len(self._reachability_matrices) > _MAX_REACHABILITY_MATRICES:
+            self._reachability_matrices.pop(0)
+
     def member_index(self, key: Hashable, members: Iterable[int]) -> BitsetIndex:
         """A (cached) :class:`BitsetIndex` over *members* under *key*.
 
@@ -140,6 +208,8 @@ class PipelineContext:
             "interned_communities": len(self.communities),
             "memoized_origins": len(self._route_cache),
             "member_indices": len(self._member_indices),
+            "inference_plane_entries": len(self._inference_planes),
+            "reachability_matrices": len(self._reachability_matrices),
         })
         return summary
 

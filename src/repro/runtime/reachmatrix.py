@@ -1,0 +1,432 @@
+"""The vectorized reachability plane: per-IXP ALLOW matrices.
+
+The paper's section-4 outcome — one reconstructed export policy N_a per
+route-server member — is naturally a square boolean matrix per IXP:
+``allow[i][j]`` says whether member *i* lets member *j* receive its
+routes.  :class:`ReachabilityPlane` stores exactly that, as integer
+bitmask rows over a :class:`~repro.runtime.bitset.BitsetIndex` (bit
+position == rank of the member ASN), together with the provenance of
+each row (passive / active / third-party), the exact merged policy
+behind it, per-member observation counts and the looking-glass query
+spend.  :class:`ReachabilityMatrix` bundles one plane per IXP and
+memoises every derived view the section-5 analyses consume (global link
+set, per-IXP link sets, multi-IXP overlap, link provenance, per-member
+peer counts and densities), so the whole figure suite runs off one
+artifact instead of re-walking the inference result object.
+
+Reciprocal-ALLOW link inference is ``M & M.T``: with numpy the rows are
+unpacked into a boolean matrix, AND-ed with its transpose and the upper
+triangle is read out in one pass; without numpy the same answer comes
+from the integer-bitmask kernel
+(:func:`repro.runtime.bitset.reciprocal_pairs`).  Both paths emit the
+identical sorted pair tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.runtime.bitset import BitsetIndex, iter_bits, reciprocal_pairs
+
+try:  # pragma: no cover - exercised via numpy_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: An inferred MLP link: an ordered (lower ASN, higher ASN) pair.
+Link = Tuple[int, int]
+
+#: The export-policy mode every mask/openness computation branches on
+#: (the other mode, "none-except", is handled by the else arms; the
+#: canonical mode definitions live in :mod:`repro.core.reachability`).
+MODE_ALL_EXCEPT = "all-except"
+
+
+def allow_mask_for(mode: str, listed: Iterable[int], index: BitsetIndex,
+                   member_asn: Optional[int] = None) -> int:
+    """N_a as a bitmask over *index* for a merged (mode, listed) policy.
+
+    Mirrors ``MemberReachability.allowed_mask``: listed values unknown to
+    the index are ignored, and the member's own bit is always cleared.
+    """
+    listed_mask = index.mask_of(listed)
+    if mode == MODE_ALL_EXCEPT:
+        mask = index.full_mask & ~listed_mask
+    else:
+        mask = listed_mask
+    if member_asn is not None:
+        own_bit = index.bit_of.get(member_asn)
+        if own_bit is not None:
+            mask &= ~(1 << own_bit)
+    return mask
+
+
+def rows_to_bool_matrix(rows: Mapping[int, int], size: int):
+    """Unpack integer bitmask rows into an (size x size) numpy bool matrix."""
+    assert _np is not None
+    matrix = _np.zeros((size, size), dtype=bool)
+    num_bytes = (size + 7) // 8
+    for bit, mask in rows.items():
+        if not mask:
+            continue
+        packed = _np.frombuffer(
+            mask.to_bytes(num_bytes, "little"), dtype=_np.uint8)
+        matrix[bit] = _np.unpackbits(
+            packed, bitorder="little", count=size).view(bool)
+    return matrix
+
+
+def reciprocal_links(rows: Mapping[int, int], universe: Tuple[int, ...],
+                     require_reciprocity: bool = True) -> Tuple[Link, ...]:
+    """The sorted reciprocal-ALLOW pairs of the given ALLOW rows.
+
+    With numpy this is the matrix form ``M & M.T`` (or ``M | M.T`` for
+    the paper's no-reciprocity ablation) with the upper triangle read in
+    ascending (row, column) order — which *is* ascending sorted-pair
+    order because the universe is sorted.  The bitmask fallback produces
+    the identical tuple.
+    """
+    size = len(universe)
+    if _np is None or size == 0:
+        return tuple(sorted(reciprocal_pairs(
+            dict(rows), universe, require_reciprocity)))
+    matrix = rows_to_bool_matrix(rows, size)
+    if require_reciprocity:
+        mutual = matrix & matrix.T
+    else:
+        mutual = matrix | matrix.T
+    # Row-major nonzero order == ascending (i, j); keeping i < j reads
+    # the upper triangle without allocating a third N x N buffer.
+    rows_idx, cols_idx = _np.nonzero(mutual)
+    return tuple((universe[int(i)], universe[int(j)])
+                 for i, j in zip(rows_idx, cols_idx) if i < j)
+
+
+# -- shared link-view derivations ---------------------------------------------
+#
+# One definition of the derived link views, used by both the
+# ReachabilityMatrix and core's MLPInferenceResult memo sites (the
+# differential tests compare the two across backends, so the
+# derivations must never drift apart).
+
+
+def links_union(links_by_ixp: Mapping[str, Tuple[Link, ...]]
+                ) -> Tuple[Link, ...]:
+    """De-duplicated union of per-IXP link tuples, ascending."""
+    merged: set = set()
+    for links in links_by_ixp.values():
+        merged.update(links)
+    return tuple(sorted(merged))
+
+
+def link_provenance(links_by_ixp: Mapping[str, Tuple[Link, ...]]
+                    ) -> Dict[Link, Tuple[str, ...]]:
+    """Link -> the sorted IXP names it was inferred at."""
+    provenance: Dict[Link, List[str]] = {}
+    for name in sorted(links_by_ixp):
+        for link in links_by_ixp[name]:
+            provenance.setdefault(link, []).append(name)
+    return {link: tuple(names) for link, names in provenance.items()}
+
+
+def multi_ixp_overlap(provenance: Mapping[Link, Tuple[str, ...]]
+                      ) -> Tuple[Link, ...]:
+    """The links present at more than one IXP, ascending."""
+    return tuple(sorted(link for link, ixps in provenance.items()
+                        if len(ixps) > 1))
+
+
+def peer_counts_of(links: Iterable[Link]) -> Dict[int, int]:
+    """Per-AS distinct peer counts, keyed in ascending ASN order."""
+    counts: Dict[int, int] = {}
+    for a, b in links:
+        counts[a] = counts.get(a, 0) + 1
+        counts[b] = counts.get(b, 0) + 1
+    return {asn: counts[asn] for asn in sorted(counts)}
+
+
+@dataclass
+class ReachabilityPlane:
+    """One IXP's reachability data plane.
+
+    Row *i* of ``allow_rows`` is N_a of ``index.universe[i]`` as a
+    bitmask; only covered members (``covered_mask``) have rows.  The
+    exact merged policy behind every row is kept in ``policies`` so the
+    object-level :class:`~repro.core.reachability.MemberReachability`
+    view can be reconstructed bit-identically, and analyses that need
+    the literal EXCLUDE lists (repellers) or populations outside the
+    universe (openness against arbitrary member lists) stay exact.
+    """
+
+    ixp_name: str
+    index: BitsetIndex
+    #: covered member bit -> outgoing ALLOW bitmask.
+    allow_rows: Dict[int, int] = field(default_factory=dict)
+    #: covered member bit -> the merged (mode, listed) policy.
+    policies: Dict[int, Tuple[str, FrozenSet[int]]] = field(default_factory=dict)
+    #: covered member bit -> observation provenance ("passive"/...).
+    sources: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: covered member bit -> number of distinct prefixes observed.
+    prefixes_observed: Dict[int, int] = field(default_factory=dict)
+    #: covered member bit -> number of inconsistently announced prefixes.
+    inconsistent: Dict[int, int] = field(default_factory=dict)
+    #: bits of members with a reconstructed reachability.
+    covered_mask: int = 0
+    #: provenance planes over member bits (may undercount members whose
+    #: observations fell outside the final universe; the exact sets are
+    #: in passive_members / active_members).
+    passive_mask: int = 0
+    active_mask: int = 0
+    third_party_mask: int = 0
+    #: the exact provenance populations (can contain non-universe ASNs).
+    passive_members: FrozenSet[int] = frozenset()
+    active_members: FrozenSet[int] = frozenset()
+    #: looking-glass queries spent collecting this plane.
+    active_queries: int = 0
+    #: member bit -> number of raw (prefix, policy) observations.
+    observation_counts: Dict[int, int] = field(default_factory=dict)
+    _links: Dict[bool, Tuple[Link, ...]] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """The member universe (ascending ASNs)."""
+        return self.index.universe
+
+    @property
+    def num_members(self) -> int:
+        return len(self.index)
+
+    @property
+    def num_covered(self) -> int:
+        """Members with a reconstructed reachability row."""
+        return len(self.allow_rows)
+
+    def covered_asns(self) -> Tuple[int, ...]:
+        """Covered members in ascending ASN order."""
+        universe = self.index.universe
+        return tuple(universe[bit] for bit in iter_bits(self.covered_mask))
+
+    # -- link inference ------------------------------------------------------
+
+    def links(self, require_reciprocity: bool = True) -> Tuple[Link, ...]:
+        """Reciprocal-ALLOW links of this plane (memoised per flag)."""
+        cached = self._links.get(require_reciprocity)
+        if cached is None:
+            cached = reciprocal_links(
+                self.allow_rows, self.index.universe, require_reciprocity)
+            self._links[require_reciprocity] = cached
+        return cached
+
+    # -- per-member views ----------------------------------------------------
+
+    def allows(self, member_asn: int, peer_asn: int) -> bool:
+        """Whether *member_asn*'s row allows *peer_asn*."""
+        bit = self.index.bit_of.get(member_asn)
+        peer_bit = self.index.bit_of.get(peer_asn)
+        if bit is None or peer_bit is None:
+            return False
+        return bool(self.allow_rows.get(bit, 0) >> peer_bit & 1)
+
+    def openness(self, member_asn: int,
+                 members: Optional[Iterable[int]] = None) -> float:
+        """Fraction of other members this member allows (figure 11).
+
+        With an explicit *members* population the exact merged policy is
+        consulted (so members outside the plane universe are handled
+        like ``MemberReachability.openness``); the default population is
+        the plane universe, answered from the row popcount.
+        """
+        bit = self.index.bit_of.get(member_asn)
+        if bit is None or bit not in self.policies:
+            return 0.0
+        if members is None:
+            others = self.num_members - 1
+            if others <= 0:
+                return 0.0
+            row = self.allow_rows.get(bit, 0) & ~(1 << bit)
+            return bin(row).count("1") / others
+        mode, listed = self.policies[bit]
+        others = [m for m in members if m != member_asn]
+        if not others:
+            return 0.0
+        if mode == MODE_ALL_EXCEPT:
+            allowed = sum(1 for m in others if m not in listed)
+        else:
+            allowed = sum(1 for m in others if m in listed)
+        return allowed / len(others)
+
+    def exclusions(self, members: Optional[Iterable[int]] = None
+                   ) -> List[Tuple[int, int]]:
+        """(blocker, blocked) pairs from ``all-except`` rows whose EXCLUDE
+        targets are in *members* (default: the plane universe) — the
+        repeller analysis' raw material, in ascending blocker order."""
+        population = set(members) if members is not None \
+            else set(self.index.universe)
+        pairs: List[Tuple[int, int]] = []
+        universe = self.index.universe
+        for bit in sorted(self.policies):
+            mode, listed = self.policies[bit]
+            if mode != MODE_ALL_EXCEPT:
+                continue
+            blocker = universe[bit]
+            for blocked in sorted(set(listed) & population):
+                pairs.append((blocker, blocked))
+        return pairs
+
+    def summary(self) -> Dict[str, int]:
+        """Compact per-plane numbers for reports and benchmarks."""
+        return {
+            "members": self.num_members,
+            "covered": self.num_covered,
+            "passive": len(self.passive_members),
+            "active": len(self.active_members),
+            "links": len(self.links()),
+            "active_queries": self.active_queries,
+        }
+
+
+class ReachabilityMatrix:
+    """The scenario-wide reachability artifact: one plane per IXP.
+
+    Every accessor the analyses consume is memoised, so Table 2, the
+    visibility/degree/density figures and the hybrid/repeller reports
+    all read from one shared computation instead of re-deriving the
+    global link set per figure.
+    """
+
+    def __init__(self, planes: Dict[str, ReachabilityPlane],
+                 links_by_ixp: Optional[Dict[str, Tuple[Link, ...]]] = None,
+                 built_by: str = "object") -> None:
+        #: ixp name -> plane.
+        self.planes = dict(planes)
+        #: inference backend that produced the planes (provenance).
+        self.built_by = built_by
+        #: per-IXP link tuples — the result's links (identical across
+        #: backends); computed from the planes when not supplied.
+        self._links_by_ixp: Dict[str, Tuple[Link, ...]] = (
+            dict(links_by_ixp) if links_by_ixp is not None
+            else {name: plane.links() for name, plane in self.planes.items()})
+        self._derived: Dict[str, object] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_result(cls, result, context: Optional[object] = None,
+                    built_by: Optional[str] = None) -> "ReachabilityMatrix":
+        """Build the matrix from an inference result (any backend).
+
+        *result* is duck-typed (``repro.core.engine.MLPInferenceResult``
+        shaped) so the runtime layer stays import-free of core; *context*
+        supplies cached per-IXP member indices when available.
+        """
+        planes: Dict[str, ReachabilityPlane] = {}
+        links: Dict[str, Tuple[Link, ...]] = {}
+        for ixp_name in sorted(result.per_ixp):
+            inference = result.per_ixp[ixp_name]
+            if context is not None:
+                index = context.member_index(ixp_name, inference.members)
+            else:
+                index = BitsetIndex(inference.members)
+            plane = ReachabilityPlane(
+                ixp_name=ixp_name,
+                index=index,
+                passive_members=frozenset(inference.passive_members),
+                active_members=frozenset(inference.active_members),
+                passive_mask=index.mask_of(inference.passive_members),
+                active_mask=index.mask_of(inference.active_members),
+                active_queries=inference.active_queries,
+            )
+            for asn in sorted(inference.reachabilities):
+                reach = inference.reachabilities[asn]
+                bit = index.bit_of.get(asn)
+                if bit is None:
+                    continue
+                plane.allow_rows[bit] = allow_mask_for(
+                    reach.mode, reach.listed, index, member_asn=asn)
+                plane.policies[bit] = (reach.mode, reach.listed)
+                plane.sources[bit] = frozenset(reach.sources)
+                plane.prefixes_observed[bit] = reach.prefixes_observed
+                plane.inconsistent[bit] = reach.inconsistent_prefixes
+                plane.covered_mask |= 1 << bit
+                if "third-party" in reach.sources:
+                    plane.third_party_mask |= 1 << bit
+            planes[ixp_name] = plane
+            links[ixp_name] = tuple(inference.links)
+        return cls(planes, links_by_ixp=links,
+                   built_by=built_by if built_by is not None
+                   else getattr(result, "inference_backend", "object"))
+
+    # -- shared link views ---------------------------------------------------
+
+    def ixp_names(self) -> List[str]:
+        """IXPs ordered by link count (descending, name-tie-broken)."""
+        return sorted(self.planes,
+                      key=lambda name: (-len(self._links_by_ixp[name]), name))
+
+    def links_by_ixp(self) -> Dict[str, Tuple[Link, ...]]:
+        """Per-IXP sorted link tuples (the inference result's links)."""
+        return dict(self._links_by_ixp)
+
+    def links_of(self, ixp_name: str) -> Tuple[Link, ...]:
+        """One IXP's sorted link tuple."""
+        return self._links_by_ixp[ixp_name]
+
+    def all_links(self) -> Tuple[Link, ...]:
+        """De-duplicated union of the per-IXP links, ascending (memoised)."""
+        cached = self._derived.get("all_links")
+        if cached is None:
+            cached = links_union(self._links_by_ixp)
+            self._derived["all_links"] = cached
+        return cached
+
+    def multi_ixp_links(self) -> Tuple[Link, ...]:
+        """Links inferred at more than one IXP, ascending (memoised)."""
+        cached = self._derived.get("multi_ixp_links")
+        if cached is None:
+            cached = multi_ixp_overlap(self.link_ixps())
+            self._derived["multi_ixp_links"] = cached
+        return cached
+
+    def link_ixps(self) -> Dict[Link, Tuple[str, ...]]:
+        """Link -> the sorted IXP names it was inferred at (memoised) —
+        the link-provenance view the hybrid analysis consumes."""
+        cached = self._derived.get("link_ixps")
+        if cached is None:
+            cached = link_provenance(self._links_by_ixp)
+            self._derived["link_ixps"] = cached
+        return cached
+
+    def peer_counts(self) -> Dict[int, int]:
+        """Per-AS distinct MLP peer counts (figure 6's x-axis), keyed in
+        ascending ASN order (memoised)."""
+        cached = self._derived.get("peer_counts")
+        if cached is None:
+            cached = peer_counts_of(self.all_links())
+            self._derived["peer_counts"] = cached
+        return cached
+
+    # -- aggregate introspection ---------------------------------------------
+
+    def total_active_queries(self) -> int:
+        """Looking-glass queries spent across every plane."""
+        return sum(plane.active_queries for plane in self.planes.values())
+
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers across all planes."""
+        return {
+            "ixps": len(self.planes),
+            "links": len(self.all_links()),
+            "multi_ixp_links": len(self.multi_ixp_links()),
+            "covered_members": sum(plane.num_covered
+                                   for plane in self.planes.values()),
+            "active_queries": self.total_active_queries(),
+            "built_by": self.built_by,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ReachabilityMatrix({len(self.planes)} planes, "
+                f"{len(self.all_links())} links, built_by={self.built_by})")

@@ -44,6 +44,9 @@ class ContextSnapshot:
     num_edges: int
     #: propagation backend the restored context defaults its engines to.
     backend: str = "frontier"
+    #: MLP inference backend the restored context defaults its engines
+    #: to (workers inherit the parent's data-plane selection).
+    inference_backend: str = "object"
 
     @property
     def num_nodes(self) -> int:
@@ -74,6 +77,7 @@ def snapshot_context(context: "PipelineContext") -> ContextSnapshot:
         provider_phase=_pack_phase(index.provider_edges),
         num_edges=index.num_edges,
         backend=getattr(context, "backend", "frontier"),
+        inference_backend=getattr(context, "inference_backend", "object"),
     )
 
 
@@ -98,7 +102,8 @@ def restore_context(snapshot: ContextSnapshot) -> "PipelineContext":
         provider_edges=_unpack_phase(snapshot.provider_phase),
         num_edges=snapshot.num_edges,
     )
-    return PipelineContext(index, backend=snapshot.backend)
+    return PipelineContext(index, backend=snapshot.backend,
+                           inference_backend=snapshot.inference_backend)
 
 
 def snapshot_sizes(snapshot: ContextSnapshot) -> dict:

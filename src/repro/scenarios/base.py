@@ -174,8 +174,13 @@ class Scenario:
         self,
         connectivity: Optional[Dict[str, ConnectivityReport]] = None,
         use_ground_truth_relationships: bool = True,
+        inference_backend: Optional[str] = None,
     ) -> MLPInferenceEngine:
-        """Build the inference engine from discovered (or supplied) data."""
+        """Build the inference engine from discovered (or supplied) data.
+
+        *inference_backend* selects the inference data plane ("object"
+        or "bitset"); ``None`` defers to the runtime context's default.
+        """
         if connectivity is None:
             connectivity = self.discover_connectivity()
         rs_members = {name: set(report.members)
@@ -189,6 +194,7 @@ class Scenario:
             relationships=relationships,
             context=self.context,
             backend=self.backend,
+            inference_backend=inference_backend,
         )
 
     def run_inference(
@@ -197,13 +203,16 @@ class Scenario:
         use_active: bool = True,
         require_reciprocity: bool = True,
         workers: Optional[int] = None,
+        inference_backend: Optional[str] = None,
     ) -> MLPInferenceResult:
         """Run the end-to-end inference pipeline of section 4.
 
         ``workers > 1`` shards the per-IXP passive/active inference
         across a process pool (identical results, deterministic order).
+        ``inference_backend`` selects the data plane ("object" or
+        "bitset", bit-identical outputs).
         """
-        engine = self.make_engine()
+        engine = self.make_engine(inference_backend=inference_backend)
         passive_entries = self.archive.clean_stable_entries() if use_passive else None
         rs_lgs = self.rs_looking_glasses if use_active else {}
         third_party = self.third_party_lgs if use_active else {}
@@ -214,6 +223,14 @@ class Scenario:
             require_reciprocity=require_reciprocity,
             workers=workers,
         )
+
+    def reachability_matrix(self, result: MLPInferenceResult):
+        """The shared per-IXP reachability plane of *result* (cached on
+        the runtime context when one is attached)."""
+        from repro.runtime.reachmatrix import ReachabilityMatrix
+        if self.context is not None:
+            return self.context.reachability_matrix(result)
+        return ReachabilityMatrix.from_result(result)
 
     # -- misc helpers ---------------------------------------------------------------------
 
@@ -705,7 +722,9 @@ def _run_inference_stage(run):
     scenario: Scenario = run.artifact("scenario")
     connectivity = run.artifact("connectivity")
     options = run.inference_options
-    engine = scenario.make_engine(connectivity=connectivity)
+    engine = scenario.make_engine(
+        connectivity=connectivity,
+        inference_backend=getattr(run, "inference_backend", None))
     passive_entries = scenario.archive.clean_stable_entries() \
         if options.use_passive else None
     rs_lgs = scenario.rs_looking_glasses if options.use_active else {}
@@ -719,11 +738,17 @@ def _run_inference_stage(run):
     )
 
 
+def _run_reachability_stage(run):
+    scenario: Scenario = run.artifact("scenario")
+    return scenario.reachability_matrix(run.artifact("inference"))
+
+
 def _run_analyses_stage(run):
     from repro.pipeline.analyses import run_analyses
     return run_analyses(
         run.artifact("scenario"), run.artifact("inference"),
-        options=run.analysis_options, workers=run.workers)
+        options=run.analysis_options, workers=run.workers,
+        matrix=run.artifact("reachability"))
 
 
 #: Every known stage, keyed by name.  A scenario spec's ``stage_names``
@@ -802,13 +827,22 @@ STAGE_LIBRARY: Dict[str, Stage] = {
             "inference",
             fn=_run_inference_stage,
             deps=("scenario", "connectivity"),
+            # The options namespace carries the InferenceOptions repr
+            # *and* the inference-backend selector, so artifacts from
+            # different inference data planes never alias in a shared
+            # cache (while every upstream stage stays shared).
             options_key="inference",
             persist=True,
         ),
         Stage(
+            "reachability",
+            fn=_run_reachability_stage,
+            deps=("scenario", "inference"),
+        ),
+        Stage(
             "analyses",
             fn=_run_analyses_stage,
-            deps=("scenario", "inference"),
+            deps=("scenario", "inference", "reachability"),
             options_key="analysis",
         ),
     ]

@@ -117,6 +117,11 @@ class ScenarioSpec:
     #: frontier engine.  The resolved backend is salted into the
     #: propagation stage's fingerprint.
     backend: Optional[str] = None
+    #: Inference backend pin ("object"/"bitset"); None lets
+    #: :class:`~repro.pipeline.run.ScenarioRun` default to the object
+    #: engine.  The resolved backend is salted into the inference
+    #: stage's fingerprint (upstream stages stay shared).
+    inference_backend: Optional[str] = None
 
     # -- derived artefacts ----------------------------------------------------
 

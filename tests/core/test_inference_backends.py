@@ -1,0 +1,297 @@
+"""Differential harness: bitset inference backend vs the object engine.
+
+Every registered scenario (at tiny size) and randomized europe2013
+regimes (generator-knob strategy mirroring
+``tests/runtime/test_batched.py``) must produce **bit-identical**
+inference under both backends: links, per-IXP link sets, Table 2 rows,
+reachability objects (mode / listed / provenance / prefix counts) and
+active query spend.  The pipeline layer must fingerprint the two
+backends apart (no artifact aliasing) while sharing every upstream
+stage, and the derived-view caches of the result object must not
+re-sort on repeated access.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pipeline import ArtifactCache, ScenarioRun
+from repro.runtime.context import INFERENCE_BACKENDS, PipelineContext
+from repro.runtime.snapshot import restore_context, snapshot_context
+from repro.scenarios.base import ScenarioConfig
+from repro.scenarios.spec import get_scenario, scenario_names
+from repro.scenarios.workloads import scenario_run
+from repro.topology.generator import GeneratorConfig
+
+
+def assert_bit_identical(obj, bit):
+    """Full-result equivalence: links, Table 2, provenance, queries.
+
+    The granular asserts localise a failure; the final
+    ``identical_to`` call is the authoritative shared predicate (the
+    same one the benches and ``run_all.py`` gate on), so this helper
+    can never check less than the benchmark gates do.
+    """
+    assert obj.all_links() == bit.all_links()
+    assert obj.links_by_ixp() == bit.links_by_ixp()
+    assert obj.multi_ixp_links() == bit.multi_ixp_links()
+    assert obj.table2() == bit.table2()
+    assert obj.link_ixps() == bit.link_ixps()
+    for name in obj.per_ixp:
+        left, right = obj.per_ixp[name], bit.per_ixp[name]
+        assert left.members == right.members, name
+        assert left.passive_members == right.passive_members, name
+        assert left.active_members == right.active_members, name
+        assert left.active_queries == right.active_queries, name
+        assert left.covered_members() == right.covered_members(), name
+        assert left.reachabilities == right.reachabilities, name
+    assert obj.identical_to(bit)
+
+
+# -- all registered scenarios --------------------------------------------------
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_backends_identical_on_registered_scenarios(name):
+    """Object and bitset inference agree on every registered family at
+    tiny size (shared cache: upstream stages are computed once)."""
+    cache = ArtifactCache()
+    obj = scenario_run("tiny", scenario=name, cache=cache,
+                       inference_backend="object").inference()
+    bit = scenario_run("tiny", scenario=name, cache=cache,
+                       inference_backend="bitset").inference()
+    assert_bit_identical(obj, bit)
+
+
+# -- randomized regimes (generator-knob strategy) ------------------------------
+
+
+def _random_scenario_config(rng: random.Random) -> ScenarioConfig:
+    """A seeded random regime: phase selection plus hypergiant /
+    private-peering / bilateral knobs (the strategy of
+    ``tests/runtime/test_batched.py``), wrapped in a ScenarioConfig."""
+    from repro.topology.phases import DEFAULT_PHASE_ORDER
+    phases = list(DEFAULT_PHASE_ORDER)
+    for optional in ("sibling-links", "backbone-peering", "private-peering"):
+        if rng.random() < 0.35:
+            phases.remove(optional)
+    low = rng.randint(1, 3)
+    generator = GeneratorConfig(
+        seed=rng.randrange(1 << 30),
+        scale=rng.uniform(0.05, 0.09),
+        ixp_member_scale=rng.uniform(0.04, 0.08),
+        sibling_pair_fraction=rng.choice([0.0, 0.01, 0.05]),
+        num_hypergiants=rng.randint(2, 5),
+        hypergiant_ixp_presence=rng.uniform(0.3, 1.0),
+        hypergiant_private_peering_probability=rng.uniform(0.0, 0.15),
+        bilateral_peer_range=(low, low + rng.randint(0, 5)),
+        content_multiplier=rng.choice([0.8, 1.0, 1.6]),
+        phases=tuple(phases),
+    )
+    return ScenarioConfig(
+        generator=generator,
+        seed=rng.randrange(1 << 30),
+        vantage_point_fraction=rng.uniform(0.04, 0.12),
+        # Far above the paper's <0.5% so the mixed-policy merge
+        # fallback (the inconsistency tail) is exercised every seed.
+        inconsistent_member_fraction=rng.choice([0.2, 0.5]),
+        num_validation_lgs=rng.randint(5, 15),
+        num_traceroute_monitors=rng.randint(4, 10),
+    )
+
+
+@pytest.mark.parametrize("seed", [2013, 4242, 77])
+def test_backends_identical_on_random_regimes(seed):
+    """Property-based differential: randomized generator/measurement
+    knobs (including an aggressive inconsistent-member fraction, which
+    exercises the mixed-policy merge fallback) produce bit-identical
+    inference under both backends — including the reciprocity ablation.
+    """
+    rng = random.Random(seed)
+    config = _random_scenario_config(rng)
+    cache = ArtifactCache()
+    runs = {backend: ScenarioRun(config, cache=cache,
+                                 inference_backend=backend)
+            for backend in INFERENCE_BACKENDS}
+    assert_bit_identical(runs["object"].inference(),
+                         runs["bitset"].inference())
+
+    scenario = runs["object"].scenario()
+    ablation_obj = scenario.run_inference(require_reciprocity=False,
+                                          inference_backend="object")
+    ablation_bit = scenario.run_inference(require_reciprocity=False,
+                                          inference_backend="bitset")
+    assert ablation_obj.all_links() == ablation_bit.all_links()
+    assert ablation_obj.links_by_ixp() == ablation_bit.links_by_ixp()
+
+
+def test_backends_identical_without_passive_or_active():
+    """The use_passive / use_active ablations agree across backends."""
+    run = scenario_run("tiny", cache=ArtifactCache())
+    scenario = run.scenario()
+    for kwargs in ({"use_passive": False}, {"use_active": False}):
+        obj = scenario.run_inference(inference_backend="object", **kwargs)
+        bit = scenario.run_inference(inference_backend="bitset", **kwargs)
+        assert_bit_identical(obj, bit)
+
+
+def test_bitset_backend_with_workers_matches():
+    """workers is accepted by the bitset path (plane runs in-process)
+    and the result still matches the sharded object path."""
+    run = scenario_run("tiny", cache=ArtifactCache())
+    scenario = run.scenario()
+    obj = scenario.run_inference(workers=2, inference_backend="object")
+    bit = scenario.run_inference(workers=2, inference_backend="bitset")
+    assert_bit_identical(obj, bit)
+
+
+# -- pipeline fingerprinting ---------------------------------------------------
+
+
+def test_inference_fingerprints_salted_per_backend():
+    """Inference-stage artifacts never alias across backends while every
+    upstream stage (topology .. connectivity) is shared."""
+    cache = ArtifactCache()
+    config = get_scenario("europe2013").config("tiny")
+    obj_run = ScenarioRun(config, cache=cache, inference_backend="object")
+    bit_run = ScenarioRun(config, cache=cache, inference_backend="bitset")
+
+    upstream = ("topology", "ixps", "propagation", "collectors",
+                "viewpoints", "registries", "scenario", "connectivity")
+    for stage in upstream:
+        assert obj_run.fingerprint(stage) == bit_run.fingerprint(stage), stage
+    for stage in ("inference", "reachability", "analyses"):
+        assert obj_run.fingerprint(stage) != bit_run.fingerprint(stage), stage
+
+    obj_run.inference()
+    bit_run.inference()
+    statuses = bit_run.stage_statuses()
+    assert statuses["inference"] == "computed"
+    assert all(statuses[stage] == "memory" for stage in
+               ("scenario", "connectivity"))
+
+    # A third run under the object backend hits the object artifact.
+    warm = ScenarioRun(config, cache=cache, inference_backend="object")
+    warm.inference()
+    assert warm.stage_statuses()["inference"] == "memory"
+
+
+def test_unknown_inference_backend_rejected():
+    with pytest.raises(ValueError, match="unknown inference backend"):
+        ScenarioRun(get_scenario("europe2013").config("tiny"),
+                    inference_backend="abacus")
+    from repro.bgp.policy import Relationship
+    from repro.bgp.propagation import Adjacency
+    adjacencies = [Adjacency(1, 2, Relationship.PEER),
+                   Adjacency(2, 1, Relationship.PEER)]
+    with pytest.raises(ValueError, match="unknown inference backend"):
+        PipelineContext.from_adjacencies(adjacencies,
+                                         inference_backend="abacus")
+
+
+def test_spec_pin_selects_inference_backend():
+    spec = get_scenario("europe2013").with_overrides(
+        name="europe2013-bitset-pin", inference_backend="bitset")
+    run = ScenarioRun(spec.config("tiny"), scenario=spec)
+    assert run.inference_backend == "bitset"
+
+
+def test_snapshot_carries_inference_backend():
+    from repro.bgp.policy import Relationship
+    from repro.bgp.propagation import Adjacency
+    adjacencies = [Adjacency(1, 2, Relationship.PEER),
+                   Adjacency(2, 1, Relationship.PEER)]
+    context = PipelineContext.from_adjacencies(
+        adjacencies, inference_backend="bitset")
+    restored = restore_context(snapshot_context(context))
+    assert restored.inference_backend == "bitset"
+
+
+# -- context-level plane cache -------------------------------------------------
+
+
+def test_bitset_planes_cached_on_context():
+    """Repeated bitset runs on one scenario reuse the observation
+    planes; ablation keys (use_passive off) add a separate entry."""
+    run = scenario_run("tiny", cache=ArtifactCache(),
+                       inference_backend="bitset")
+    scenario = run.scenario()
+    context = scenario.context
+    first = scenario.run_inference(inference_backend="bitset")
+    entries_after_first = context.stats()["inference_plane_entries"]
+    second = scenario.run_inference(inference_backend="bitset")
+    assert context.stats()["inference_plane_entries"] == entries_after_first
+    assert_bit_identical(first, second)
+    # The reciprocity ablation shares the planes (applied downstream).
+    scenario.run_inference(require_reciprocity=False,
+                           inference_backend="bitset")
+    assert context.stats()["inference_plane_entries"] == entries_after_first
+    # A different collection surface is a different key.
+    scenario.run_inference(use_passive=False, inference_backend="bitset")
+    assert context.stats()["inference_plane_entries"] == entries_after_first + 1
+
+
+def test_plane_cache_invalidated_by_lg_view_change():
+    """Mutating route-server state visible through a looking glass
+    between runs must not serve stale cached planes: the LG view
+    signature in the cache key forces a recollection (a new cache
+    entry), keeping the bitset backend identical to the re-querying
+    object backend."""
+    from repro.bgp.prefix import Prefix
+
+    run = scenario_run("tiny", cache=ArtifactCache())
+    scenario = run.scenario()
+    context = scenario.context
+    first = scenario.run_inference(inference_backend="bitset")
+    assert first.identical_to(scenario.run_inference(
+        inference_backend="object"))
+    entries_before = context.stats()["inference_plane_entries"]
+
+    ixp_name = sorted(scenario.rs_looking_glasses)[0]
+    route_server = scenario.route_servers[ixp_name]
+    member = route_server.members()[0]
+    route_server.announce(member, Prefix.from_octets(203, 0, 113, 0, 24),
+                          (member,))
+
+    obj = scenario.run_inference(inference_backend="object")
+    bit = scenario.run_inference(inference_backend="bitset")
+    # The mutated LG view is a different cache key -> fresh collection.
+    assert context.stats()["inference_plane_entries"] == entries_before + 1
+    assert obj.identical_to(bit)
+
+
+def test_table2_fallback_without_table2_figure():
+    """ScenarioRun.table2() must work when the analysis suite omits the
+    table2 figure (the fallback path feeds the reachability matrix to
+    the figure function directly)."""
+    from repro.pipeline import AnalysisOptions
+
+    base = scenario_run("tiny", cache=ArtifactCache())
+    run = ScenarioRun(base.config, scenario=base.spec, cache=base.cache,
+                      analysis_options=AnalysisOptions(figures=("density",)))
+    rows = run.table2()
+    assert len(rows) == len(run.inference().per_ixp)
+
+
+# -- derived-view caches (regression: repeated calls must not re-sort) ---------
+
+
+def test_result_views_are_memoised():
+    result = scenario_run("tiny", cache=ArtifactCache()).inference()
+    assert result.all_links() is result.all_links()
+    assert result.multi_ixp_links() is result.multi_ixp_links()
+    assert result.link_ixps() is result.link_ixps()
+    assert result.peer_counts() is result.peer_counts()
+    assert result.all_member_asns() is result.all_member_asns()
+    some_ixp = next(iter(result.per_ixp.values()))
+    assert some_ixp.link_set() is some_ixp.link_set()
+    if some_ixp.links:
+        a, b = some_ixp.links[0]
+        assert some_ixp.has_link(a, b) and some_ixp.has_link(b, a)
+        assert result.ixps_of_link(a, b)
+        assert some_ixp.ixp_name in result.ixps_of_link(a, b)
+    covered = some_ixp.covered_members()
+    if covered:
+        assert some_ixp.provenance_of(covered[0])

@@ -2,11 +2,14 @@
 
 Each file under ``tests/goldens/`` freezes a scenario family's tiny-size
 outcome: the full inferred link set, the Table 2 rows and a sha256
-digest of the canonical link-set JSON.  The test regenerates every
+digest of the canonical link-set JSON — pinned under **both** inference
+backends (the per-IXP object engine and the vectorized bitset plane),
+which are required to be bit-identical.  The test regenerates every
 scenario through the staged pipeline and diffs against the goldens, so
 any change to generation, propagation (any backend), inference or their
 orderings shows up as a reviewable fixture diff instead of a silent
-behaviour change.
+behaviour change — and a divergence *between* inference backends fails
+the per-backend pin even before the differential suite runs.
 
 Refresh intentionally with::
 
@@ -22,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.pipeline import ArtifactCache, ScenarioRun
+from repro.runtime.context import INFERENCE_BACKENDS
 from repro.scenarios.spec import get_scenario, scenario_names
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
@@ -36,21 +40,39 @@ def links_digest(links) -> str:
 
 
 def build_golden(name: str) -> dict:
-    """One scenario's golden payload, regenerated from scratch."""
+    """One scenario's golden payload, regenerated from scratch.
+
+    The scenario builds once (shared cache); inference runs once per
+    backend and each backend's links/Table 2 are pinned separately.
+    """
     spec = get_scenario(name)
-    run = ScenarioRun(spec.config(GOLDEN_SIZE), scenario=name,
-                      cache=ArtifactCache())
-    result = run.inference()
-    links = [[int(a), int(b)] for a, b in result.all_links()]
-    table2 = [{key: value for key, value in row.items()}
-              for row in run.table2()]
+    cache = ArtifactCache()
+    per_backend: dict = {}
+    for backend in INFERENCE_BACKENDS:
+        run = ScenarioRun(spec.config(GOLDEN_SIZE), scenario=name,
+                          cache=cache, inference_backend=backend)
+        result = run.inference()
+        links = [[int(a), int(b)] for a, b in result.all_links()]
+        per_backend[backend] = {
+            "num_links": len(links),
+            "links_sha256": links_digest(links),
+            "links": links,
+            "table2": [{key: value for key, value in row.items()}
+                       for row in run.table2()],
+        }
+    reference = per_backend[INFERENCE_BACKENDS[0]]
     return {
         "scenario": name,
         "size": GOLDEN_SIZE,
-        "num_links": len(links),
-        "links_sha256": links_digest(links),
-        "links": links,
-        "table2": table2,
+        "num_links": reference["num_links"],
+        "links_sha256": reference["links_sha256"],
+        "links": reference["links"],
+        "table2": reference["table2"],
+        "inference_backends": {
+            backend: {"num_links": payload["num_links"],
+                      "links_sha256": payload["links_sha256"],
+                      "table2": payload["table2"]}
+            for backend, payload in per_backend.items()},
     }
 
 
@@ -76,6 +98,13 @@ def test_scenario_matches_golden(name, request):
         f"({fresh['num_links']} vs {golden['num_links']} links)")
     assert fresh["links"] == golden["links"]
     assert fresh["table2"] == golden["table2"]
+    assert fresh["inference_backends"] == golden["inference_backends"], (
+        f"{name}: per-inference-backend pins diverged")
+    # The backends are required to be bit-identical to each other, not
+    # just individually stable.
+    pins = fresh["inference_backends"]
+    assert pins["object"] == pins["bitset"], (
+        f"{name}: object and bitset inference disagree")
 
 
 def test_goldens_cover_every_registered_scenario():
