@@ -1,31 +1,34 @@
-"""Backend matrix: frontier vs batched propagation, timed and verified.
+"""Backend matrix: frontier vs batched vs compiled, timed and verified.
 
 Two things at once, per scenario size:
 
-* **equivalence** — the batched backend's recorded fragments must be
-  bit-identical to the frontier engine's (content and order, best and
-  offered routes) on the measurement surface the scenario actually
+* **equivalence** — every vectorized backend's recorded fragments must
+  be bit-identical to the frontier engine's (content and order, best
+  and offered routes) on the measurement surface the scenario actually
   records at;
-* **speed** — the same propagation workload is timed per backend, so
-  the trajectory JSON captures the batched engine's speedup next to
-  every other bench.
+* **speed** — the same propagation workload is timed per backend, both
+  engine-level (fragments materialised) and as a **raw sweep** (the
+  propagator relaxation alone), so the trajectory JSON captures the
+  fused compiled kernel's speedup next to every other bench.
 
 `benchmarks/run_all.py` additionally records per-backend wall times for
 every registered scenario in the ``backend_matrix`` section of
-``BENCH_<date>.json``.
+``BENCH_<date>.json``, including a workers x backend scaling row.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.bgp.propagation import OriginSpec
+from repro.bgp.propagation import BATCH_SIZE, OriginSpec
 from repro.pipeline import ArtifactCache, ScenarioRun
 from repro.runtime.batched import numpy_available
 from repro.scenarios.spec import get_scenario
 
 requires_numpy = pytest.mark.skipif(
-    not numpy_available(), reason="batched backend requires numpy")
+    not numpy_available(), reason="vectorized backends require numpy")
+
+VECTOR_BACKENDS = ("batched", "compiled")
 
 
 def propagation_workload(size: str):
@@ -56,25 +59,27 @@ def fragment_key(routes):
 
 
 @requires_numpy
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
 @pytest.mark.parametrize("size", ["tiny", "bench"])
-def test_batched_fragments_bit_identical(size):
-    """Acceptance: batched == frontier on the scenario's full origin set
-    at tiny and bench sizes (exact fragments, best and offered)."""
+def test_vector_fragments_bit_identical(size, backend):
+    """Acceptance: each vectorized backend == frontier on the scenario's
+    full origin set at tiny and bench sizes (exact fragments, best and
+    offered)."""
     workload = propagation_workload(size)
     frontier = run_backend(*workload, backend="frontier")
-    batched = run_backend(*workload, backend="batched")
-    assert len(frontier) == len(batched)
-    for got_f, got_b in zip(frontier, batched):
-        assert fragment_key(got_f[0]) == fragment_key(got_b[0])
-        assert fragment_key(got_f[1]) == fragment_key(got_b[1])
+    vector = run_backend(*workload, backend=backend)
+    assert len(frontier) == len(vector)
+    for got_f, got_v in zip(frontier, vector):
+        assert fragment_key(got_f[0]) == fragment_key(got_v[0])
+        assert fragment_key(got_f[1]) == fragment_key(got_v[1])
 
 
-@pytest.mark.parametrize("backend", ["frontier", "batched"])
+@pytest.mark.parametrize("backend", ["frontier", "batched", "compiled"])
 def test_propagation_backend_throughput(benchmark, backend):
     """Bench-size propagation, one timed run per backend (compare the
-    two rows in the benchmark table / BENCH trajectory)."""
-    if backend == "batched" and not numpy_available():
-        pytest.skip("batched backend requires numpy")
+    three rows in the benchmark table / BENCH trajectory)."""
+    if backend != "frontier" and not numpy_available():
+        pytest.skip("vectorized backends require numpy")
     context, origins, observers, alternatives = propagation_workload("bench")
     # Warm the per-topology plan/union tables so the timed rounds
     # measure sweeps, exactly like a warm scenario re-run.
@@ -87,3 +92,47 @@ def test_propagation_backend_throughput(benchmark, backend):
     fragments = benchmark.pedantic(propagate, rounds=3, iterations=1)
     assert len(fragments) == len(origins)
     assert any(best for best, _offered in fragments)
+
+
+@pytest.mark.parametrize("backend", ["frontier", "batched", "compiled"])
+def test_raw_propagation_sweep(benchmark, backend):
+    """Bench-size raw relaxation sweep — no fragment materialisation,
+    fresh propagator per round.  The compiled/frontier ratio of these
+    rows is the fused kernel's headline speedup (the >=3x target)."""
+    if backend != "frontier" and not numpy_available():
+        pytest.skip("vectorized backends require numpy")
+    context, origins, _observers, _alternatives = propagation_workload(
+        "bench")
+    index, bags, plan = context.index, context.bags, context.plan
+    origin_nodes = [index.id_of[o.asn] for o in origins
+                    if o.asn in index.id_of]
+    empty_bags = [bags.EMPTY] * len(origin_nodes)
+
+    def sweep():
+        if backend == "frontier":
+            from repro.runtime.frontier import FrontierPropagator
+            from repro.runtime.stores import PathStore
+            propagator = FrontierPropagator(index, PathStore(), bags)
+            for node in origin_nodes:
+                propagator.run(node, bags.EMPTY)
+            return len(origin_nodes)
+        if backend == "compiled":
+            from repro.runtime.compiled import (
+                CompiledPropagator,
+                compiled_batch_size,
+            )
+            propagator = CompiledPropagator(plan, bags)
+            batch = compiled_batch_size(plan)
+        else:
+            from repro.runtime.batched import BatchedPropagator
+            propagator = BatchedPropagator(plan, bags)
+            batch = BATCH_SIZE
+        for start in range(0, len(origin_nodes), batch):
+            propagator.run_batch(origin_nodes[start:start + batch],
+                                 empty_bags[start:start + batch],
+                                 frozenset())
+        return len(origin_nodes)
+
+    sweep()  # warmup: page-in, allocator steady state
+    swept = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert swept == len(origin_nodes)

@@ -78,8 +78,10 @@ def main(argv=None) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="shard the parallel stages across N processes")
     parser.add_argument("--backend", default=None,
-                        choices=["frontier", "batched", "reference"],
-                        help="propagation data plane (default: frontier)")
+                        choices=["frontier", "batched", "compiled",
+                                 "reference"],
+                        help="propagation data plane (default: frontier; "
+                             "compiled is the fused kernel, fastest)")
     parser.add_argument("--inference-backend", default=None,
                         choices=["object", "bitset"],
                         help="MLP inference data plane (default: object; "

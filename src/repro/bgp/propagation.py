@@ -76,8 +76,9 @@ __all__ = [
 
 #: The selectable propagation backends: the per-origin frontier BFS
 #: (default, dependency-free), the vectorized batched multi-origin
-#: engine (numpy) and the object-graph reference oracle.
-BACKENDS = ("frontier", "batched", "reference")
+#: engine (numpy), the fused compiled kernel (numpy, numba-accelerated
+#: where installed) and the object-graph reference oracle.
+BACKENDS = ("frontier", "batched", "compiled", "reference")
 DEFAULT_BACKEND = "frontier"
 
 #: Origins propagated per vectorized sweep by the batched backend; caps
@@ -276,10 +277,12 @@ class PropagationEngine:
         Which propagation data plane answers queries: ``"frontier"``
         (per-origin bucket-queue BFS, the default), ``"batched"`` (the
         vectorized multi-origin engine of
-        :mod:`repro.runtime.batched`) or ``"reference"`` (the
-        object-graph oracle).  ``None`` inherits the context's backend.
-        All backends produce equivalent routes; memoised fragments are
-        keyed per backend so they never alias.
+        :mod:`repro.runtime.batched`), ``"compiled"`` (the fused kernel
+        of :mod:`repro.runtime.compiled`, numba-accelerated where
+        installed) or ``"reference"`` (the object-graph oracle).
+        ``None`` inherits the context's backend.  All backends produce
+        equivalent routes; memoised fragments are keyed per backend so
+        they never alias.
     """
 
     def __init__(
@@ -434,13 +437,21 @@ class PropagationEngine:
         """Run the selected backend over the uncached origins (the
         three argument lists are parallel, cache hits and isolated
         origins already filtered out)."""
-        if self._backend == "batched":
+        if self._backend in ("batched", "compiled"):
             mask = self._record_node_mask()
+            propagator = self._batched_propagator()
+            if self._backend == "compiled":
+                # Wider batches amortise per-level round cost; the
+                # helper caps the (origins x nodes) planes by memory.
+                from repro.runtime.compiled import compiled_batch_size
+                batch_size = compiled_batch_size(self._ctx.plan)
+            else:
+                batch_size = BATCH_SIZE
             fragments: List[Tuple] = []
-            for start in range(0, len(origin_nodes), BATCH_SIZE):
-                batch = self._batched_propagator().run_batch(
-                    origin_nodes[start:start + BATCH_SIZE],
-                    origin_bags[start:start + BATCH_SIZE],
+            for start in range(0, len(origin_nodes), batch_size):
+                batch = propagator.run_batch(
+                    origin_nodes[start:start + batch_size],
+                    origin_bags[start:start + batch_size],
                     self._alt_nodes)
                 # Touched nodes pre-filtered to the recorded set (a
                 # vectorized mask) and every recorded path materialised
@@ -451,12 +462,9 @@ class PropagationEngine:
                            for row in range(batch.num_origins)]
                 pid_chunks = [batch.pid[row][nodes]
                               for row, nodes in enumerate(touched) if nodes]
-                offer_pids = [offer[4]
-                              for row in range(batch.num_origins)
-                              for offer in batch.offers[row]]
-                if offer_pids:
-                    pid_chunks.append(np.asarray(offer_pids,
-                                                 dtype=np.int64))
+                offer_pids = batch.offer_pids()
+                if len(offer_pids):
+                    pid_chunks.append(offer_pids)
                 if pid_chunks:
                     batch.paths.materialize_many(
                         np.concatenate(pid_chunks))
@@ -477,8 +485,13 @@ class PropagationEngine:
 
     def _batched_propagator(self):
         if self._batched is None:
-            from repro.runtime.batched import BatchedPropagator
-            self._batched = BatchedPropagator(self._ctx.plan, self._bags)
+            if self._backend == "compiled":
+                from repro.runtime.compiled import CompiledPropagator
+                self._batched = CompiledPropagator(self._ctx.plan,
+                                                   self._bags)
+            else:
+                from repro.runtime.batched import BatchedPropagator
+                self._batched = BatchedPropagator(self._ctx.plan, self._bags)
         return self._batched
 
     def _record_node_mask(self):

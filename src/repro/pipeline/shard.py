@@ -13,11 +13,15 @@ single-process run, including dict insertion orders.
 Each shard is a batch, not a single origin: the worker resolves its
 whole chunk through
 :meth:`~repro.bgp.propagation.PropagationEngine.batch_fragments`, so
-under the batched backend one chunk costs a few vectorized sweeps (the
-worker's restored context compiles its
-:class:`~repro.runtime.batched.PropagationPlan` once and replays it per
-batch) instead of per-origin walks.  The snapshot carries the backend
-selection, so workers always propagate with the parent's engine.
+under the vectorized backends (batched, compiled) one chunk costs a few
+vectorized sweeps instead of per-origin walks.  For those backends each
+worker receives exactly one contiguous chunk — maximal batch width per
+worker — and the parent's
+:class:`~repro.runtime.batched.PropagationPlan` is compiled once and
+shipped inside the snapshot, so P workers each replay the same schedule
+and sharding multiplies with batching.  The snapshot carries the
+backend selection, so workers always propagate with the parent's
+engine.
 
 Worker-side state is reconstructed, never inherited: the initializer
 rebuilds a fresh :class:`PipelineContext` from the snapshot, which keeps
@@ -39,8 +43,15 @@ from repro.bgp.propagation import (
 from repro.runtime.context import PipelineContext
 from repro.runtime.snapshot import ContextSnapshot, restore_context, snapshot_context
 
-#: Chunks handed out per worker; >1 smooths imbalance between origins.
+#: Chunks handed out per worker under per-origin backends; >1 smooths
+#: imbalance between origins.
 CHUNKS_PER_WORKER = 4
+
+#: Backends whose workers replay whole origin batches vectorized: each
+#: worker gets ONE contiguous chunk (maximal batch width, one plan
+#: replay) instead of several small ones — sharding and batching then
+#: multiply rather than compete for batch width.
+VECTORIZED_BACKENDS = frozenset({"batched", "compiled"})
 
 #: One origin's recorded fragments: (best routes, offered routes).
 Fragments = Tuple[List[PropagatedRoute], List[PropagatedRoute]]
@@ -131,10 +142,15 @@ def sharded_propagate(
                                 backend=backend)
         return engine.propagate(origins)
 
-    snapshot = snapshot_context(context)
+    effective_backend = backend if backend is not None else context.backend
+    vectorized = effective_backend in VECTORIZED_BACKENDS
+    # Vectorized workers replay the parent's compiled plan: build it
+    # once here and ship it in the snapshot instead of once per worker.
+    snapshot = snapshot_context(context, include_plan=vectorized)
     if backend is not None and backend != snapshot.backend:
         snapshot = replace(snapshot, backend=backend)
-    chunks = chunked(origins, worker_count * CHUNKS_PER_WORKER)
+    chunks_per_worker = 1 if vectorized else CHUNKS_PER_WORKER
+    chunks = chunked(origins, worker_count * chunks_per_worker)
     result = PropagationResult()
     with ProcessPoolExecutor(
         max_workers=min(worker_count, len(chunks)),

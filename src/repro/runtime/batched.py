@@ -10,7 +10,12 @@ replaces those per-origin BFS walks with a two-part design:
   target, sibling flag, hop cost, RS via, edge community bag) plus the
   exporter->edge expansion tables.  Built once per
   :class:`~repro.runtime.context.PipelineContext` and reused across
-  every batch, so warm re-runs of a scenario only pay the sweeps.
+  every batch, so warm re-runs of a scenario only pay the sweeps.  The
+  plan is a *kernel-agnostic packed schedule*: its arrays are stored in
+  the narrowest safe integer dtype (int32 where the value range allows,
+  int64 otherwise — see :func:`fit_dtype`) and the same schedule drives
+  both this module's numpy replay loop and the fused kernel of
+  :mod:`repro.runtime.compiled`.
 * :class:`BatchedPropagator` — runs the three valley-free phases for a
   whole batch of origins at once over flat state arrays shaped
   ``(origins x nodes)`` (provenance class, path length, learned-from
@@ -80,10 +85,35 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 #: Scatter-min filler, larger than any candidate key or index.
 _HUGE = (1 << 62)
 
+#: Largest value an int32 plane/schedule cell can hold.
+INT32_MAX = (1 << 31) - 1
+
+
+class PathIdOverflow(RuntimeError):
+    """A path-cell id outgrew the narrow plane dtype in use.
+
+    Raised by :meth:`BatchedPathStore.alloc` when the store was given an
+    ``id_limit`` (set by callers that keep path ids in int32 planes) and
+    allocation would exceed it.  Callers re-run the batch with int64
+    planes — propagation is deterministic, so the retry is bit-identical.
+    """
+
 
 def numpy_available() -> bool:
     """Whether the batched backend can run in this interpreter."""
     return np is not None
+
+
+def fit_dtype(max_value: int):
+    """The narrowest schedule/plane dtype that can hold *max_value*.
+
+    This is the int32/int64 promotion rule of the packed schedule: a
+    value range that fits int32 (``<= 2**31 - 1``) is stored narrow,
+    anything larger — 4-byte ASNs above 2**31 in ``via``/ASN arrays,
+    route keys on topologies beyond ~2900 nodes — falls back to int64.
+    """
+    _require_numpy()
+    return np.int32 if 0 <= max_value <= INT32_MAX else np.int64
 
 
 def _require_numpy():
@@ -104,36 +134,54 @@ class PhasePlan:
     multiply-add over the exporter prefixes.
     """
 
-    __slots__ = ("indptr", "src", "dst", "sib", "has_sib", "hop", "via",
-                 "bag", "key_tail", "num_edges")
+    __slots__ = ("indptr", "deg", "src", "dst", "sib", "has_sib", "hop",
+                 "via", "has_via", "bag", "has_bag", "key_tail",
+                 "num_edges")
 
     def __init__(self, indptr, src, dst, sib, hop, via, bag,
                  key_tail) -> None:
         self.indptr = indptr  #: per-node out-edge slice starts
+        self.deg = indptr[1:] - indptr[:-1]  #: out-degree per node
         self.src = src        #: exporting node per edge
         self.dst = dst        #: importing node per edge
         self.sib = sib        #: True where the edge is a sibling link
         self.has_sib = bool(sib.any())
         self.hop = hop        #: path-length cost (2 for opaque-RS edges)
         self.via = via        #: RS ASN inserted in the path, -1 when none
+        self.has_via = bool((via >= 0).any())
         self.bag = bag        #: community-bag id attached on the edge
+        self.has_bag = bool((bag != 0).any())
         self.key_tail = key_tail  #: hop * node_span + src + 1, per edge
         self.num_edges = len(dst)
 
     @classmethod
     def from_phase_edges(cls, edges, num_nodes: int) -> "PhasePlan":
+        """Pack one phase's edges, each array in its narrowest safe dtype.
+
+        ``indptr``/``src``/``dst``/``hop``/``key_tail`` are bounded by
+        the node and edge counts and the key-tail packing; ``via`` holds
+        ASNs (4-byte ASNs above ``2**31`` force int64) and ``bag`` holds
+        interned bag ids.  Mixed int32/int64 arithmetic downstream
+        promotes to int64, so narrowing is free for exactness.
+        """
         _require_numpy()
-        indptr = np.asarray(edges.indptr, dtype=np.int64)
-        dst = np.asarray(edges.targets, dtype=np.int64)
+        num_edges = len(edges.targets)
+        idx_dtype = fit_dtype(max(num_nodes + 1, num_edges))
+        indptr = np.asarray(edges.indptr, dtype=idx_dtype)
+        dst = np.asarray(edges.targets, dtype=idx_dtype)
         rels = np.asarray(edges.rels, dtype=np.int64)
-        via = np.asarray(edges.vias, dtype=np.int64)
-        bag = np.asarray(edges.bags, dtype=np.int64)
-        src = np.repeat(np.arange(num_nodes, dtype=np.int64),
+        vias = edges.vias
+        via = np.asarray(vias, dtype=fit_dtype(max(max(vias, default=0), 0)))
+        bags = edges.bags
+        bag = np.asarray(bags, dtype=fit_dtype(max(max(bags, default=0), 0)))
+        src = np.repeat(np.arange(num_nodes, dtype=idx_dtype),
                         np.diff(indptr))
-        hop = np.where(via >= 0, 2, 1).astype(np.int64)
+        hop = np.where(via >= 0, 2, 1).astype(idx_dtype)
+        tail_dtype = fit_dtype(2 * (num_nodes + 1) + num_nodes + 1)
+        key_tail = (hop.astype(np.int64) * (num_nodes + 1)
+                    + src + 1).astype(tail_dtype)
         return cls(indptr=indptr, src=src, dst=dst, sib=rels == REL_SIBLING,
-                   hop=hop, via=via, bag=bag,
-                   key_tail=hop * (num_nodes + 1) + src + 1)
+                   hop=hop, via=via, bag=bag, key_tail=key_tail)
 
 
 class PropagationPlan:
@@ -175,6 +223,16 @@ class PropagationPlan:
         self.provider = PhasePlan.from_phase_edges(
             index.provider_edges, index.num_nodes)
 
+    def key_plane_dtype(self):
+        """The narrowest dtype a route-key plane over this plan needs.
+
+        int32 whenever the whole packed-key range (``unset_key`` is its
+        exclusive top) fits — true up to ~2900 nodes — int64 beyond.
+        The compiled backend sizes its planes with this; the batched
+        replay keeps int64 planes unconditionally.
+        """
+        return fit_dtype(self.unset_key)
+
     def summary(self) -> Dict[str, int]:
         """Size statistics (benchmarks and reports)."""
         return {
@@ -182,6 +240,7 @@ class PropagationPlan:
             "customer_phase_edges": self.customer.num_edges,
             "peer_phase_edges": self.peer.num_edges,
             "provider_phase_edges": self.provider.num_edges,
+            "key_plane_bits": 8 * np.dtype(self.key_plane_dtype()).itemsize,
         }
 
     def __repr__(self) -> str:
@@ -196,23 +255,41 @@ class BatchedPathStore:
     Same structure sharing as :class:`~repro.runtime.stores.PathStore`
     (cells are ``(head ASN, parent id)``), but cells for a whole
     relaxation round are allocated in one append and the backing buffers
-    are numpy arrays.  Lives for one batch run; materialisation converts
-    to plain int tuples with shared-suffix memoisation.
+    are numpy arrays.  Materialisation converts to plain int tuples with
+    shared-suffix memoisation; because a parent cell is always allocated
+    before its children (ids ascend along every chain), the memo lets a
+    store shared across origin batches resolve already-walked suffixes
+    without re-walking them.
+
+    ``id_limit`` is the int32 overflow guard: callers that keep path ids
+    in narrow planes pass ``INT32_MAX`` and :meth:`alloc` raises
+    :class:`PathIdOverflow` instead of silently wrapping.
     """
 
-    __slots__ = ("_heads", "_parents", "_size", "_memo")
+    __slots__ = ("_heads", "_parents", "_size", "_memo", "id_limit")
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024,
+                 id_limit: Optional[int] = None) -> None:
         _require_numpy()
         self._heads = np.empty(capacity, dtype=np.int64)
         self._parents = np.empty(capacity, dtype=np.int64)
         self._size = 0
         self._memo: Dict[int, Tuple[int, ...]] = {}
+        self.id_limit = id_limit
+
+    def reset(self) -> None:
+        """Drop every cell and the memo (ids become invalid)."""
+        self._size = 0
+        self._memo = {}
 
     def alloc(self, heads, parents):
         """Append one cell per (head, parent) pair; returns the new ids."""
         count = len(heads)
         need = self._size + count
+        if self.id_limit is not None and need > self.id_limit:
+            raise PathIdOverflow(
+                f"path store would grow to {need} cells, beyond the "
+                f"narrow-plane id limit {self.id_limit}")
         if need > len(self._heads):
             capacity = max(need, 2 * len(self._heads))
             for name in ("_heads", "_parents"):
@@ -226,35 +303,35 @@ class BatchedPathStore:
         return ids
 
     def materialize_many(self, pids) -> None:
-        """Bulk-materialise *pids* into the memo with a vectorized walk.
+        """Bulk-materialise *pids* into the memo, sharing suffixes.
 
-        Chains are unrolled breadth-wise — one gather per path depth
-        over all requested paths at once — instead of one Python walk
-        per path; subsequent :meth:`materialize` calls for these ids are
+        Requested ids are visited in ascending order; since every cell's
+        parent has a smaller id, a path materialises as one cons onto
+        its parent's already-memoised tuple whenever the parent was
+        requested too (or walked by an earlier batch) — the common case
+        when observers' paths toward one origin share their tails.  The
+        rare unseen parent falls back to the scalar chain walk.
+        Subsequent :meth:`materialize` calls for these ids are
         dictionary hits.
         """
         pids = np.unique(np.asarray(pids, dtype=np.int64))
         pids = pids[pids >= 0]
         if len(pids) == 0:
             return
-        heads = self._heads
-        parents = self._parents
-        columns = []
-        cursor = pids.copy()
-        active = cursor >= 0
-        while active.any():
-            safe = np.maximum(cursor, 0)
-            columns.append(np.where(active, heads[safe], -1))
-            cursor = np.where(active, parents[safe], -1)
-            active = cursor >= 0
-        matrix = np.stack(columns, axis=1)
-        lengths = (matrix >= 0).sum(axis=1)
         memo = self._memo
-        for depth in np.unique(lengths).tolist():
-            rows = np.nonzero(lengths == depth)[0]
-            ids = pids[rows].tolist()
-            for pid, chain in zip(ids, matrix[rows, :depth].tolist()):
-                memo[pid] = tuple(chain)
+        heads = self._heads[pids].tolist()
+        parents = self._parents[pids].tolist()
+        scalar = self.materialize
+        for pid, head, parent in zip(pids.tolist(), heads, parents):
+            if pid in memo:
+                continue
+            if parent < 0:
+                memo[pid] = (head,)
+                continue
+            suffix = memo.get(parent)
+            if suffix is None:
+                suffix = scalar(parent)
+            memo[pid] = (head,) + suffix
 
     def materialize(self, pid: int) -> Tuple[int, ...]:
         """The tuple form of path *pid* (memoised, shared suffixes)."""
@@ -281,6 +358,38 @@ class BatchedPathStore:
         return self._size
 
 
+class LazyRows:
+    """Per-row results materialised once, on first access.
+
+    Raw sweeps (state computation only — the unit the backend matrix
+    times) never touch the assembled rows, so the argsort/``tolist``
+    result assembly is deferred until a consumer actually reads a row;
+    full propagation pays it exactly once per batch, as before.
+    """
+
+    __slots__ = ("_build", "_rows", "_length")
+
+    def __init__(self, num_rows: int, build) -> None:
+        self._build = build
+        self._rows = None
+        self._length = num_rows
+
+    def _materialise(self):
+        if self._rows is None:
+            self._rows = self._build()
+            self._build = None
+        return self._rows
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, row):
+        return self._materialise()[row]
+
+    def __iter__(self):
+        return iter(self._materialise())
+
+
 class BatchState:
     """The outcome of one batch run, row-per-origin.
 
@@ -290,15 +399,17 @@ class BatchState:
     the store whose ``materialize`` resolves the state's path ids.
     ``touched_nodes(row, mask)`` is the materialisation fast path: the
     discovery-ordered touched array filtered to a recorded-node mask
-    without a Python pass over every routed node.
+    without a Python pass over every routed node.  ``touched`` and
+    ``offers`` are :class:`LazyRows` (assembled on first row access);
+    ``offer_pids`` reads the raw offer path ids without assembling any
+    per-row tuples.
     """
 
     __slots__ = ("paths", "cls", "length", "frm", "pid", "bag",
-                 "touched", "offers")
+                 "touched", "offers", "_offer_chunks")
 
     def __init__(self, paths, cls, length, frm, pid, bag,
-                 touched: List,
-                 offers: List[List[Offer]]) -> None:
+                 touched, offers, offer_chunks=()) -> None:
         self.paths = paths
         self.cls = cls
         self.length = length
@@ -307,10 +418,19 @@ class BatchState:
         self.bag = bag
         self.touched = touched  #: per-row discovery-ordered node arrays
         self.offers = offers
+        self._offer_chunks = offer_chunks
 
     @property
     def num_origins(self) -> int:
         return len(self.touched)
+
+    def offer_pids(self):
+        """All offered path ids across rows, in no particular order —
+        the bulk-materialisation feed (order-insensitive by contract)."""
+        if not self._offer_chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [chunk[5] for chunk in self._offer_chunks])
 
     def touched_nodes(self, row: int, mask=None) -> List[int]:
         """Touched node ids of *row* in discovery order, optionally
@@ -327,22 +447,73 @@ class BatchState:
                            self.touched_nodes(row), self.offers[row])
 
 
+class UnionTable:
+    """Dense (bag, edge-bag) -> union-bag memo, grown on demand.
+
+    The :class:`~repro.runtime.stores.CommunityBagStore`'s own dict memo
+    is only consulted for missing pairs, so hot rounds never sort or
+    hash.  Shared by the batched and compiled replay loops.
+    """
+
+    __slots__ = ("_bags", "_table")
+
+    def __init__(self, bags: CommunityBagStore) -> None:
+        _require_numpy()
+        self._bags = bags
+        self._table = np.full((1, 1), -1, dtype=np.int64)
+
+    def union_many(self, left, right):
+        """Vectorized community-bag union of parallel id arrays."""
+        table = self._table
+        need_rows = int(left.max()) + 1
+        need_cols = int(right.max()) + 1
+        if need_rows > table.shape[0] or need_cols > table.shape[1]:
+            grown = np.full((max(need_rows, 2 * table.shape[0]),
+                             max(need_cols, 2 * table.shape[1])),
+                            -1, dtype=np.int64)
+            grown[:table.shape[0], :table.shape[1]] = table
+            self._table = table = grown
+        merged = table[left, right]
+        missing = np.nonzero(merged < 0)[0]
+        if len(missing):
+            columns = table.shape[1]
+            pair, inverse = np.unique(
+                left[missing].astype(np.int64) * columns + right[missing],
+                return_inverse=True)
+            union = self._bags.union
+            values = np.fromiter(
+                (union(int(p) // columns, int(p) % columns) for p in pair),
+                dtype=np.int64, count=len(pair))
+            table[pair // columns, pair % columns] = values
+            merged[missing] = values[inverse]
+        return merged
+
+
 class _Arrays:
-    """Per-batch mutable sweep state (origins x nodes)."""
+    """Per-batch mutable sweep state (origins x nodes).
+
+    *dtype* sizes the route-key/pid/bag planes: the batched replay keeps
+    int64 unconditionally; the compiled backend passes the plan's
+    :meth:`~PropagationPlan.key_plane_dtype` (int32 where the key range
+    allows, with :class:`PathIdOverflow` guarding the pid plane).
+    Scatter scratch stays int64 — the packed (key, position) reduction
+    values exceed int32 regardless of plane width.
+    """
 
     __slots__ = ("key", "pid", "bag", "dirty",
                  "key_f", "pid_f", "bag_f", "dirty_f",
                  "work_key", "work_touch", "work_pos")
 
     def __init__(self, num_origins: int, num_nodes: int,
-                 unset_key: int) -> None:
+                 unset_key: int, dtype=None) -> None:
         shape = (num_origins, num_nodes)
+        dtype = np.int64 if dtype is None else dtype
         #: packed route key per node (see :class:`PropagationPlan`) —
         #: the single comparison plane; provenance class, path length
         #: and learned-from are recovered from it by division.
-        self.key = np.full(shape, unset_key, dtype=np.int64)
-        self.pid = np.full(shape, -1, dtype=np.int64)
-        self.bag = np.zeros(shape, dtype=np.int64)
+        self.key = np.full(shape, unset_key, dtype=dtype)
+        self.pid = np.full(shape, -1, dtype=dtype)
+        self.bag = np.zeros(shape, dtype=dtype)
         #: state changed since the node's last export (per origin) —
         #: the vectorized form of the frontier's exported-key guard.
         self.dirty = np.zeros(shape, dtype=bool)
@@ -368,36 +539,30 @@ class BatchedPropagator:
         _require_numpy()
         self._plan = plan
         self._bags = bags
-        # Dense (bag, edge-bag) -> union-bag memo, grown on demand; the
-        # store's own dict memo is only consulted for missing pairs, so
-        # hot rounds never sort or hash.
-        self._union_table = np.full((1, 1), -1, dtype=np.int64)
+        self._unions = UnionTable(bags)
+        # Growable identity scratch serving the per-round ``arange``
+        # needs (ragged expansion offsets, queue positions, tie-break
+        # ranks).  The buffer is only ever *replaced* on growth, never
+        # written, so outstanding slices stay valid.
+        self._idx_scratch = np.empty(0, dtype=np.int64)
 
-    def _union_bags(self, left, right):
-        """Vectorized community-bag union via the dense memo table."""
-        table = self._union_table
-        need_rows = int(left.max()) + 1
-        need_cols = int(right.max()) + 1
-        if need_rows > table.shape[0] or need_cols > table.shape[1]:
-            grown = np.full((max(need_rows, 2 * table.shape[0]),
-                             max(need_cols, 2 * table.shape[1])),
-                            -1, dtype=np.int64)
-            grown[:table.shape[0], :table.shape[1]] = table
-            self._union_table = table = grown
-        merged = table[left, right]
-        missing = np.nonzero(merged < 0)[0]
-        if len(missing):
-            columns = table.shape[1]
-            pair, inverse = np.unique(
-                left[missing] * columns + right[missing],
-                return_inverse=True)
-            union = self._bags.union
-            values = np.fromiter(
-                (union(int(p) // columns, int(p) % columns) for p in pair),
-                dtype=np.int64, count=len(pair))
-            table[pair // columns, pair % columns] = values
-            merged[missing] = values[inverse]
-        return merged
+    def _identity(self, n: int):
+        """``arange(n)`` served from the cached scratch buffer."""
+        if len(self._idx_scratch) < n:
+            self._idx_scratch = np.arange(
+                max(n, 2 * len(self._idx_scratch)), dtype=np.int64)
+        return self._idx_scratch[:n]
+
+    # -- construction hooks (overridden by the compiled backend) -------------
+
+    def _make_paths(self, num_origins: int) -> BatchedPathStore:
+        """A fresh per-batch path store (compiled adds an id limit)."""
+        return BatchedPathStore(capacity=max(1024, 2 * num_origins))
+
+    def _make_state(self, num_origins: int) -> _Arrays:
+        """Fresh per-batch planes (compiled narrows the dtype)."""
+        return _Arrays(num_origins, self._plan.num_nodes,
+                       self._plan.unset_key)
 
     # -- public API ----------------------------------------------------------
 
@@ -411,8 +576,8 @@ class BatchedPropagator:
         plan = self._plan
         num_nodes = plan.num_nodes
         num_origins = len(origin_nodes)
-        paths = BatchedPathStore(capacity=max(1024, 2 * num_origins))
-        state = _Arrays(num_origins, num_nodes, plan.unset_key)
+        paths = self._make_paths(num_origins)
+        state = self._make_state(num_origins)
 
         rows = np.arange(num_origins, dtype=np.int64)
         onodes = np.asarray(list(origin_nodes), dtype=np.int64)
@@ -469,9 +634,11 @@ class BatchedPropagator:
         frm = state.key % plan.node_span - 1
         return BatchState(
             paths, cls, length, frm, state.pid, state.bag,
-            touched=self._per_origin_touched(
-                num_origins, onodes, touched_chunks),
-            offers=self._per_origin_offers(num_origins, offer_chunks),
+            touched=LazyRows(num_origins, lambda: per_origin_touched(
+                num_origins, onodes, touched_chunks)),
+            offers=LazyRows(num_origins, lambda: per_origin_offers(
+                num_origins, offer_chunks)),
+            offer_chunks=offer_chunks,
         )
 
     # -- phases --------------------------------------------------------------
@@ -554,7 +721,7 @@ class BatchedPropagator:
         gate_key = (export_limit + 1) * max_len * span
         work_pos = state.work_pos
         same_level: List[Tuple] = []
-        remaining = np.arange(len(queue_rows), dtype=np.int64)
+        remaining = self._identity(len(queue_rows))
         queue_flat = queue_rows * num_nodes + queue_nodes
         while len(remaining):
             rem_flat = queue_flat[remaining]
@@ -569,7 +736,7 @@ class BatchedPropagator:
                 break
             exp_flat = rem_flat[exp_idx]
             exp_nodes = queue_nodes[remaining[exp_idx]]
-            counts = phase.indptr[exp_nodes + 1] - phase.indptr[exp_nodes]
+            counts = phase.deg[exp_nodes]
             total = int(counts.sum())
             # Exporting records the guard key: clean before resolving,
             # so an adoption landing back on an already-popped exporter
@@ -579,11 +746,11 @@ class BatchedPropagator:
                 break
             # Queue positions (relative to the current remainder) for
             # contamination detection; reset after the round.
-            work_pos[rem_flat] = np.arange(len(rem_flat), dtype=np.int64)
+            work_pos[rem_flat] = self._identity(len(rem_flat))
             # Ragged expansion: one candidate per (exporter, edge), in
             # (row, node, edge) order — the frontier's pop order.
             ends = np.cumsum(counts)
-            edges = np.arange(total, dtype=np.int64) + np.repeat(
+            edges = self._identity(total) + np.repeat(
                 phase.indptr[exp_nodes] - ends + counts, counts)
             # Candidate keys from the exporters' packed keys: siblings
             # propagate the exporter's class, everything else the
@@ -592,7 +759,9 @@ class BatchedPropagator:
             # fix-up instead of a full select.
             exp_key = state.key_f[exp_flat]
             normal = base_class * max_len + (exp_key // span) % max_len
-            key = np.repeat(normal, counts) * span + phase.key_tail[edges]
+            # Pre-multiply on the compact exporter side: one fewer
+            # full-candidate-size pass per round.
+            key = np.repeat(normal * span, counts) + phase.key_tail[edges]
             if phase.has_sib:
                 sib = np.nonzero(phase.sib[edges])[0]
                 if len(sib):
@@ -625,9 +794,17 @@ class BatchedPropagator:
                     adopted_nodes = adopted_nodes[keep]
                     adopted_len = adopted_len[keep]
                 if len(adopted_len):
-                    order = np.argsort(adopted_len, kind="stable")
+                    # Lengths are far below the uint16 range on any
+                    # int32-keyed plan; the narrower radix sort halves
+                    # the stable-sort passes.
+                    sort_len = (adopted_len.astype(np.uint16)
+                                if max_len <= 65535 else adopted_len)
+                    order = np.argsort(sort_len, kind="stable")
                     sorted_len = adopted_len[order]
-                    starts = np.nonzero(np.diff(sorted_len, prepend=-1))[0]
+                    run_edge = np.empty(len(sorted_len), dtype=bool)
+                    run_edge[0] = True
+                    run_edge[1:] = sorted_len[1:] != sorted_len[:-1]
+                    starts = np.nonzero(run_edge)[0]
                     bounds = list(starts[1:]) + [len(order)]
                     for start, end in zip(starts, bounds):
                         target_level = int(sorted_len[start])
@@ -645,7 +822,7 @@ class BatchedPropagator:
                 exp_idx >= row_cut[queue_rows[remaining[exp_idx]]]]
             state.dirty_f[rem_flat[stale]] = True
             remaining = remaining[
-                np.arange(len(remaining))
+                self._identity(len(remaining))
                 >= row_cut[queue_rows[remaining]]]
         return same_level
 
@@ -664,12 +841,12 @@ class BatchedPropagator:
             state.key < (CLASS_CUSTOMER + 1) * plan.max_len * plan.node_span)
         if len(exp_rows) == 0:
             return
-        counts = phase.indptr[exp_nodes + 1] - phase.indptr[exp_nodes]
+        counts = phase.deg[exp_nodes]
         total = int(counts.sum())
         if total == 0:
             return
         ends = np.cumsum(counts)
-        edges = np.arange(total, dtype=np.int64) + np.repeat(
+        edges = self._identity(total) + np.repeat(
             phase.indptr[exp_nodes] - ends + counts, counts)
         exp_flat = exp_rows * plan.num_nodes + exp_nodes
         prefix = CLASS_PEER * plan.max_len + (
@@ -680,7 +857,7 @@ class BatchedPropagator:
             flat=np.repeat(exp_flat - exp_nodes, counts) + cand_to,
             cand_to=cand_to,
             edges=edges,
-            key=np.repeat(prefix, counts) * plan.node_span
+            key=np.repeat(prefix * plan.node_span, counts)
             + phase.key_tail[edges],
             alt_mask=alt_mask,
             touched_chunks=touched_chunks,
@@ -767,7 +944,10 @@ class BatchedPropagator:
         num = int(idx[-1]) + 1
         work_key = state.work_key
         if int(key.max()) < _HUGE // max(num, 1):
-            combined = key * num + idx
+            # Compute the packed reduction value in int64 regardless of
+            # the key plane's width — int32 keys times the candidate
+            # count overflow 32 bits long before they threaten _HUGE.
+            combined = key.astype(np.int64, copy=False) * num + idx
             work_key[flat] = _HUGE
             np.minimum.at(work_key, flat, combined)
             winner = combined == work_key[flat]
@@ -791,35 +971,67 @@ class BatchedPropagator:
             first = np.nonzero(newly & (idx == work_touch[flat]))[0]
             touched_chunks.append((cand_rows[first], cand_to[first]))
 
-        # Everything below only materialises the few candidates that
-        # win or get recorded: class, length and exporter come back out
-        # of the packed key by division; paths are snapshotted now —
-        # the exporter's *current* path id, never reconstructed from
-        # final state (transient exports are part of the contract).
-        sel = np.nonzero(adopt | offer)[0]
+        return row_cut, self._commit(state, phase, paths, flat, cand_to,
+                                     edges, key, adopt, offer, offer_chunks,
+                                     mark_dirty)
+
+    def _commit(self, state: _Arrays, phase: PhasePlan, paths, flat,
+                cand_to, edges, key, adopt, offer, offer_chunks,
+                mark_dirty: bool, frm=None) -> Optional[Tuple]:
+        """Materialise and apply one round's winning/recorded candidates.
+
+        Shared by the batched and compiled resolve paths.  Only the few
+        candidates that win or get recorded are materialised: class,
+        length and exporter come back out of the packed key by division;
+        paths are snapshotted now — the exporter's *current* path id,
+        never reconstructed from final state (transient exports are part
+        of the contract).  *offer* may be None (caller proved the round
+        records nothing), *edges* may be None when the phase carries no
+        per-edge vias or bags, and *frm* optionally passes an already
+        recovered learned-from array.  Returns the applied adoptions as
+        ``(rows, nodes, lengths)`` arrays, or None.
+        """
+        plan = self._plan
+        num_nodes = plan.num_nodes
+        span = plan.node_span
+        max_len = plan.max_len
+        sel = np.nonzero(adopt if offer is None else adopt | offer)[0]
         if len(sel) == 0:
-            return row_cut, None
-        sel_rows = cand_rows[sel]
+            return None
+        sel_flat = flat[sel]
         sel_to = cand_to[sel]
-        sel_edges = edges[sel]
+        sel_rows = (sel_flat - sel_to) // num_nodes
         sel_key = key[sel]
-        sel_from = sel_key % span - 1
+        sel_from = frm[sel] if frm is not None else sel_key % span - 1
         sel_len = (sel_key // span) % max_len
         from_flat = sel_rows * num_nodes + sel_from
-        via = phase.via[sel_edges]
-        parent = state.pid_f[from_flat]
-        has_via = via >= 0
-        if has_via.any():
-            parent = parent.copy()
-            parent[has_via] = paths.alloc(via[has_via], parent[has_via])
+        sel_edges = edges[sel] if phase.has_via or phase.has_bag else None
+        parent = state.pid_f[from_flat].astype(np.int64, copy=False)
+        if phase.has_via:
+            via = phase.via[sel_edges]
+            has_via = via >= 0
+            if has_via.any():
+                parent = parent.copy()
+                parent[has_via] = paths.alloc(via[has_via], parent[has_via])
         sel_pid = paths.alloc(plan.node_asns[sel_to], parent)
         sel_bag = state.bag_f[from_flat]
-        edge_bag = phase.bag[sel_edges]
-        merge = np.nonzero(edge_bag != 0)[0]
-        if len(merge):
-            sel_bag = sel_bag.copy()
-            sel_bag[merge] = self._union_bags(sel_bag[merge],
-                                              edge_bag[merge])
+        if phase.has_bag:
+            edge_bag = phase.bag[sel_edges]
+            merge = np.nonzero(edge_bag != 0)[0]
+            if len(merge):
+                sel_bag = sel_bag.copy()
+                sel_bag[merge] = self._unions.union_many(sel_bag[merge],
+                                                         edge_bag[merge])
+
+        if offer is None:
+            # No offers this round: every selected candidate is an
+            # adoption, apply them without the re-partition.
+            state.key_f[sel_flat] = sel_key
+            state.pid_f[sel_flat] = sel_pid
+            state.bag_f[sel_flat] = sel_bag
+            if mark_dirty:
+                state.dirty_f[sel_flat] = True
+            return sel_rows, sel_to, sel_len
 
         offer_sel = np.nonzero(offer[sel])[0]
         if len(offer_sel):
@@ -831,43 +1043,59 @@ class BatchedPropagator:
 
         adopt_sel = np.nonzero(adopt[sel])[0]
         if len(adopt_sel) == 0:
-            return row_cut, None
+            return None
         rows_ = sel_rows[adopt_sel]
         to_ = sel_to[adopt_sel]
         new_len = sel_len[adopt_sel]
-        adopt_flat = flat[sel[adopt_sel]]
+        adopt_flat = sel_flat[adopt_sel]
         state.key_f[adopt_flat] = sel_key[adopt_sel]
         state.pid_f[adopt_flat] = sel_pid[adopt_sel]
         state.bag_f[adopt_flat] = sel_bag[adopt_sel]
         if mark_dirty:
             state.dirty_f[adopt_flat] = True
-        return row_cut, (rows_, to_, new_len)
+        return rows_, to_, new_len
 
-    # -- result assembly ------------------------------------------------------
+# -- result assembly ----------------------------------------------------------
+#
+# Shared by the batched and compiled replay loops: both sweeps emit the
+# same chunk streams and assemble :class:`BatchState` rows identically.
 
-    @staticmethod
-    def _per_origin_touched(num_origins: int, onodes,
-                            touched_chunks) -> List:
-        if not touched_chunks:
-            return [onodes[row:row + 1] for row in range(num_origins)]
-        rows = np.concatenate([chunk[0] for chunk in touched_chunks])
-        nodes = np.concatenate([chunk[1] for chunk in touched_chunks])
-        order = np.argsort(rows, kind="stable")
-        counts = np.bincount(rows, minlength=num_origins)
-        groups = np.split(nodes[order], np.cumsum(counts)[:-1])
-        return [np.concatenate((onodes[row:row + 1], group))
-                for row, group in enumerate(groups)]
+def per_origin_touched(num_origins: int, onodes, touched_chunks) -> List:
+    """Per-row discovery-ordered touched arrays from adoption chunks."""
+    if not touched_chunks:
+        return [onodes[row:row + 1] for row in range(num_origins)]
+    rows = np.concatenate([chunk[0] for chunk in touched_chunks])
+    nodes = np.concatenate([chunk[1] for chunk in touched_chunks])
+    order = np.argsort(rows, kind="stable")
+    counts = np.bincount(rows, minlength=num_origins)
+    groups = np.split(nodes[order], np.cumsum(counts)[:-1])
+    return [np.concatenate((onodes[row:row + 1], group))
+            for row, group in enumerate(groups)]
 
-    @staticmethod
-    def _per_origin_offers(num_origins: int,
-                           offer_chunks) -> List[List[Offer]]:
-        if not offer_chunks:
-            return [[] for _ in range(num_origins)]
+
+def per_origin_offers(num_origins: int, offer_chunks) -> List[List[Offer]]:
+    """Per-row offer tuples from offer chunks, in recording order.
+
+    Assembled in one pass: sort every column by origin row once, convert
+    each column to a Python list once, zip the whole batch into tuples
+    once, then slice per row — instead of ``np.split`` + ``tolist`` per
+    column per row, which dominated result assembly on wide batches.
+    """
+    if not offer_chunks:
+        return [[] for _ in range(num_origins)]
+    if len(offer_chunks) == 1:
+        columns = list(offer_chunks[0])
+    else:
         columns = [np.concatenate([chunk[col] for chunk in offer_chunks])
                    for col in range(7)]
-        order = np.argsort(columns[0], kind="stable")
-        counts = np.bincount(columns[0], minlength=num_origins)
-        bounds = np.cumsum(counts)[:-1]
-        groups = [np.split(column[order], bounds) for column in columns[1:]]
-        return [list(zip(*(column[row].tolist() for column in groups)))
-                for row in range(num_origins)]
+    order = np.argsort(columns[0], kind="stable")
+    merged = list(zip(*(np.asarray(column)[order].tolist()
+                        for column in columns[1:])))
+    bounds = np.cumsum(
+        np.bincount(columns[0], minlength=num_origins)).tolist()
+    start = 0
+    out = []
+    for end in bounds:
+        out.append(merged[start:end])
+        start = end
+    return out

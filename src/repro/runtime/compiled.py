@@ -1,0 +1,328 @@
+"""Fused compiled propagation: narrow planes, one-pass rounds, numba.
+
+The third propagation backend (``backend="compiled"``) replays the same
+kernel-agnostic packed schedule as :mod:`repro.runtime.batched` — the
+:class:`~repro.runtime.batched.PropagationPlan` built once per topology
+— but drives each bucket-queue round through a *fused* resolve path:
+
+* **narrow planes** — the route-key/pid/bag planes are allocated in the
+  plan's :meth:`~repro.runtime.batched.PropagationPlan.key_plane_dtype`
+  (int32 whenever the whole packed-key range fits, true up to ~2900
+  nodes), halving the memory traffic of every gather and scatter.  The
+  int32 pid plane is guarded by
+  :class:`~repro.runtime.batched.PathIdOverflow`: if a batch ever
+  allocates more path cells than int32 can address, the batch is re-run
+  with int64 planes — propagation is deterministic, so the retry is
+  bit-identical, never silently wrapped.
+* **fused rounds** — the batched backend's resolve performs a dozen
+  numpy passes per round: a seven-array candidate compaction, separate
+  scatter-min / winner / first-touch reductions, and full-size
+  row-recovery divisions.  The fused resolve skips the compaction
+  entirely (candidate positions double as tie-break ranks), folds
+  winner selection and first-touch detection into a single scatter
+  pass, and recovers origin rows only for the handful of selected
+  candidates.  With numba available the scatter pass is a compiled
+  ``@njit`` loop (:func:`_winner_touch_kernel`); without it a
+  pure-numpy twin keeps the backend available on every install.
+* **graceful degradation** — importing this module never raises:
+  :data:`HAS_NUMBA` probes for numba once (the ``REPRO_NO_NUMBA``
+  environment variable forces the probe off, which is how the CI
+  no-numba matrix leg exercises the fallback), and a numba kernel that
+  fails to compile at first use permanently falls back to the numpy
+  twin for the process.
+
+Exactness is inherited: the fused resolve computes the same winner set,
+first-touch order, offer records and transactional conflict splits as
+the batched replay (the shared :meth:`BatchedPropagator._commit` applies
+them), and the differential suite in ``tests/runtime/test_compiled.py``
+plus the goldens pin bit-identity against both other backends.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.runtime.batched import (
+    _HUGE,
+    INT32_MAX,
+    BatchState,
+    BatchedPathStore,
+    BatchedPropagator,
+    PathIdOverflow,
+    PropagationPlan,
+    _Arrays,
+    numpy_available,
+)
+from repro.runtime.stores import CommunityBagStore
+
+try:  # gated dependency, exactly like the batched backend
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+__all__ = [
+    "HAS_NUMBA",
+    "NUMBA_DISABLE_ENV",
+    "CompiledPropagator",
+    "compiled_available",
+    "compiled_batch_size",
+]
+
+#: Environment variable that forces the pure-numpy fused path even when
+#: numba is importable (the CI no-numba matrix leg sets it).
+NUMBA_DISABLE_ENV = "REPRO_NO_NUMBA"
+
+
+def _probe_numba():
+    if os.environ.get(NUMBA_DISABLE_ENV):
+        return None
+    try:
+        import numba
+    except Exception:  # pragma: no cover - any broken install counts as absent
+        return None
+    return numba
+
+
+_numba = _probe_numba()
+
+#: Whether the fused rounds run through compiled numba kernels in this
+#: interpreter.  False means the pure-numpy fused path carries the
+#: backend — same results, still selectable everywhere.
+HAS_NUMBA = _numba is not None
+
+
+def compiled_available() -> bool:
+    """Whether the compiled backend can run (numpy is the only hard
+    requirement; numba merely accelerates it)."""
+    return numpy_available()
+
+
+def _py_winner_touch(flat, key, newly, work_key, work_touch):
+    """One fused scatter pass: per-target winner + first-touch marks.
+
+    The numba twin of the numpy reductions in
+    :meth:`CompiledPropagator._resolve`'s fallback: a single loop walks
+    the candidates once to scatter the packed (key, position) minimum
+    and the first-touch position, then once more to emit the marks.
+    Candidate position breaks key ties, so the earliest candidate in CSR
+    edge order wins — exactly the frontier's sequential acceptance.
+    """
+    n = flat.shape[0]
+    winner = np.zeros(n, dtype=np.uint8)
+    first = np.zeros(n, dtype=np.uint8)
+    for i in range(n):
+        f = flat[i]
+        work_key[f] = _HUGE
+        work_touch[f] = _HUGE
+    for i in range(n):
+        f = flat[i]
+        packed = np.int64(key[i]) * n + i
+        if packed < work_key[f]:
+            work_key[f] = packed
+        if newly[i] and i < work_touch[f]:
+            work_touch[f] = i
+    for i in range(n):
+        f = flat[i]
+        if np.int64(key[i]) * n + i == work_key[f]:
+            winner[i] = 1
+        if newly[i] and work_touch[f] == i:
+            first[i] = 1
+    return winner, first
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    try:
+        _winner_touch_kernel = _numba.njit(cache=False)(_py_winner_touch)
+    except Exception:
+        HAS_NUMBA = False
+        _winner_touch_kernel = None
+else:
+    _winner_touch_kernel = None
+
+
+#: Default origins per compiled batch.  Measured sweet spot: wide
+#: enough to amortise each level round's fixed numpy dispatch cost,
+#: narrow enough that the per-round candidate working set stays cache
+#: resident — single giant batches measure *slower* than 128 at bench
+#: size despite running fewer rounds.
+_COMPILED_BATCH_ROWS = 128
+
+
+def compiled_batch_size(plan: PropagationPlan,
+                        budget_bytes: int = 64 << 20) -> int:
+    """Origins per compiled batch under a per-batch memory budget.
+
+    Starts from the cache-friendly default batch width and shrinks it
+    when the (origins x nodes) planes would blow the budget: three
+    value planes in the plan's key dtype, the dirty plane, and three
+    int64 scratch vectors.
+    """
+    item = (3 * np.dtype(plan.key_plane_dtype()).itemsize  # key/pid/bag
+            + 1                                            # dirty
+            + 3 * 8)                                       # scratch
+    per_origin = item * max(plan.num_nodes, 1)
+    return max(1, min(_COMPILED_BATCH_ROWS, budget_bytes // per_origin))
+
+
+class CompiledPropagator(BatchedPropagator):
+    """The fused replay loop over the shared packed schedule.
+
+    Subclasses :class:`BatchedPropagator` for the level-synchronous
+    sweep/drain machinery and the commit path — the semantics live
+    there — and overrides plane construction (narrow dtypes, overflow
+    guard) and per-round candidate resolution (the fused kernel).
+    """
+
+    #: Process-wide lever: flipped off permanently if the numba kernel
+    #: ever fails to compile or execute, so a broken numba install
+    #: degrades to the numpy twin instead of failing the run.
+    _use_jit = HAS_NUMBA
+
+    def __init__(self, plan: PropagationPlan,
+                 bags: CommunityBagStore) -> None:
+        super().__init__(plan, bags)
+        #: plane dtype for this topology; promoted to int64 for good if
+        #: a batch ever overflows the int32 path-id range.
+        self._dtype = plan.key_plane_dtype()
+        # Per-batch memo: whether the current alternatives mask records
+        # anything at all (checked once per mask object, not per round).
+        self._alt_mask_seen = None
+        self._alt_any = False
+
+    # -- construction hooks ---------------------------------------------------
+
+    def _make_paths(self, num_origins: int) -> BatchedPathStore:
+        limit = INT32_MAX if self._dtype is np.int32 else None
+        return BatchedPathStore(capacity=max(1024, 2 * num_origins),
+                                id_limit=limit)
+
+    def _make_state(self, num_origins: int) -> _Arrays:
+        return _Arrays(num_origins, self._plan.num_nodes,
+                       self._plan.unset_key, dtype=self._dtype)
+
+    # -- public API -----------------------------------------------------------
+
+    def run_batch(
+        self,
+        origin_nodes: Sequence[int],
+        origin_bags: Sequence[int],
+        alt_nodes: FrozenSet[int] = frozenset(),
+    ) -> BatchState:
+        """Propagate the batch; transparently widen planes on overflow."""
+        try:
+            return super().run_batch(origin_nodes, origin_bags, alt_nodes)
+        except PathIdOverflow:
+            # Deterministic algorithm: the int64 re-run is bit-identical
+            # to what the narrow run would have produced.  Promotion is
+            # sticky — the topology/batch shape evidently needs it.
+            self._dtype = np.int64
+            return super().run_batch(origin_nodes, origin_bags, alt_nodes)
+
+    # -- fused candidate resolution -------------------------------------------
+
+    def _resolve(self, state: _Arrays, phase, flat, cand_to, edges, key,
+                 alt_mask, touched_chunks, offer_chunks, paths,
+                 mark_dirty: bool, in_queue: bool = False,
+                 ) -> Tuple[Optional[object], Optional[Tuple]]:
+        """Fused round resolution; semantics identical to the batched
+        replay's :meth:`BatchedPropagator._resolve`.
+
+        Differences are purely mechanical: no candidate compaction
+        (positions are their own tie-break ranks, and at typical >50%
+        active fractions compaction costs more than it saves), winner
+        selection and first-touch detection in one fused scatter pass
+        (numba-compiled when available), and origin rows recovered by
+        division only for the selected few.
+        """
+        plan = self._plan
+        num_nodes = plan.num_nodes
+        span = plan.node_span
+        cur_key = state.key_f[flat]
+        better = key < cur_key
+        if alt_mask is not self._alt_mask_seen:
+            self._alt_mask_seen = alt_mask
+            self._alt_any = bool(alt_mask.any())
+        offer = alt_mask[cand_to] if self._alt_any else None
+        if offer is not None and not offer.any():
+            offer = None  # hint: the commit path skips offer recording
+        has_better = bool(better.any())
+        if not has_better and offer is None:
+            return None, None
+        # The phase's per-edge metadata decides whether edge ids are
+        # needed at all downstream (customer/provider phases carry no
+        # vias or bags on ordinary topologies).
+        need_edges = phase.has_via or phase.has_bag
+
+        row_cut = None
+        if in_queue and has_better:
+            tgt_pos = state.work_pos[flat]
+            # Exporter queue positions, recovered from the key's
+            # tie-break term (the exporter is itself a queue member).
+            src_pos = state.work_pos[flat - cand_to + key % span - 1]
+            conflict = better & (tgt_pos > src_pos)
+            if conflict.any():
+                cand_rows = (flat - cand_to) // num_nodes
+                row_cut = np.full(state.key.shape[0], _HUGE, dtype=np.int64)
+                np.minimum.at(row_cut, cand_rows[conflict],
+                              tgt_pos[conflict])
+                keep = src_pos < row_cut[cand_rows]
+                cand_to, key, flat, better, cur_key = (
+                    cand_to[keep], key[keep], flat[keep], better[keep],
+                    cur_key[keep])
+                if need_edges:
+                    edges = edges[keep]
+                if offer is not None:
+                    offer = offer[keep]
+                if len(flat) == 0:
+                    return row_cut, None
+
+        n = len(flat)
+        newly = cur_key == plan.unset_key
+        any_new = bool(newly.any())
+
+        # Candidate keys are bounded by the plan's sentinel, so the
+        # packed (key, position) scatter fits int64 whenever
+        # unset_key * n does — a static bound, no per-round reduction.
+        packable = plan.unset_key < _HUGE // n
+        winner = first = None
+        if self._use_jit and packable:
+            try:
+                winner_u8, first_u8 = _winner_touch_kernel(
+                    flat, key, newly, state.work_key, state.work_touch)
+                winner = winner_u8.view(bool)
+                first = first_u8.view(bool)
+            except Exception:  # pragma: no cover - broken numba installs
+                type(self)._use_jit = False
+        if winner is None:
+            idx = self._identity(n)
+            work_key = state.work_key
+            if packable:
+                combined = key * np.int64(n) + idx
+                work_key[flat] = _HUGE
+                np.minimum.at(work_key, flat, combined)
+                winner = combined == work_key[flat]
+            else:  # pragma: no cover - needs astronomically large topologies
+                work_key[flat] = _HUGE
+                np.minimum.at(work_key, flat, key)
+                min_key = key == work_key[flat]
+                work_key[flat] = _HUGE
+                np.minimum.at(work_key, flat, np.where(min_key, idx, _HUGE))
+                winner = idx == work_key[flat]
+            if any_new:
+                work_touch = state.work_touch
+                work_touch[flat] = _HUGE
+                np.minimum.at(work_touch, flat, np.where(newly, idx, _HUGE))
+                first = newly & (idx == work_touch[flat])
+
+        if any_new:
+            fidx = np.nonzero(first)[0]
+            if len(fidx):
+                first_flat = flat[fidx]
+                touched_chunks.append(
+                    (first_flat // num_nodes, cand_to[fidx]))
+
+        adopt = winner & better
+        return row_cut, self._commit(state, phase, paths, flat, cand_to,
+                                     edges, key, adopt, offer, offer_chunks,
+                                     mark_dirty)

@@ -22,7 +22,7 @@ from repro.runtime.stores import PathStore
 
 #: Propagation backends a context can default its engines to (the full
 #: selector semantics live in :mod:`repro.bgp.propagation`).
-PROPAGATION_BACKENDS = ("frontier", "batched", "reference")
+PROPAGATION_BACKENDS = ("frontier", "batched", "compiled", "reference")
 DEFAULT_BACKEND = "frontier"
 
 #: MLP inference backends (the selector semantics live in

@@ -47,6 +47,12 @@ class ContextSnapshot:
     #: MLP inference backend the restored context defaults its engines
     #: to (workers inherit the parent's data-plane selection).
     inference_backend: str = "object"
+    #: the parent's compiled :class:`~repro.runtime.batched
+    #: .PropagationPlan`, when one was already built — numpy arrays
+    #: pickle as raw buffers, so shipping the plan saves every worker
+    #: the per-process schedule compilation (None when the parent never
+    #: built one, e.g. frontier-only runs or numpy-less installs).
+    plan: object = None
 
     @property
     def num_nodes(self) -> int:
@@ -65,10 +71,24 @@ def _unpack_phase(packed: PhaseArrays) -> PhaseEdges:
                       rels=list(rels), bags=list(bags), vias=list(vias))
 
 
-def snapshot_context(context: "PipelineContext") -> ContextSnapshot:
-    """Capture the context's index in compact, picklable form."""
+def snapshot_context(context: "PipelineContext",
+                     include_plan: bool = False) -> ContextSnapshot:
+    """Capture the context's index in compact, picklable form.
+
+    With *include_plan* the context's
+    :class:`~repro.runtime.batched.PropagationPlan` is built (if numpy
+    is available) and shipped alongside the index, so restored worker
+    contexts replay it instead of recompiling the schedule; otherwise a
+    plan is shipped only when the context already built one.
+    """
     index = context.index
     bag_values = tuple(index.bags._values)
+    plan = getattr(context, "_plan", None)
+    if plan is None and include_plan:
+        try:
+            plan = context.plan
+        except RuntimeError:  # no numpy: workers fall back to frontier
+            plan = None
     return ContextSnapshot(
         node_asns=array("q", index.node_asns),
         bag_values=bag_values,
@@ -78,6 +98,7 @@ def snapshot_context(context: "PipelineContext") -> ContextSnapshot:
         num_edges=index.num_edges,
         backend=getattr(context, "backend", "frontier"),
         inference_backend=getattr(context, "inference_backend", "object"),
+        plan=plan,
     )
 
 
@@ -102,8 +123,13 @@ def restore_context(snapshot: ContextSnapshot) -> "PipelineContext":
         provider_edges=_unpack_phase(snapshot.provider_phase),
         num_edges=snapshot.num_edges,
     )
-    return PipelineContext(index, backend=snapshot.backend,
-                           inference_backend=snapshot.inference_backend)
+    context = PipelineContext(index, backend=snapshot.backend,
+                              inference_backend=snapshot.inference_backend)
+    if snapshot.plan is not None:
+        # Seed the lazily built schedule: ids were preserved exactly,
+        # so the shipped plan is the one this context would compile.
+        context._plan = snapshot.plan
+    return context
 
 
 def snapshot_sizes(snapshot: ContextSnapshot) -> dict:
@@ -118,4 +144,5 @@ def snapshot_sizes(snapshot: ContextSnapshot) -> dict:
         "customer_phase_bytes": phase_bytes(snapshot.customer_phase),
         "peer_phase_bytes": phase_bytes(snapshot.peer_phase),
         "provider_phase_bytes": phase_bytes(snapshot.provider_phase),
+        "plan_shipped": snapshot.plan is not None,
     }

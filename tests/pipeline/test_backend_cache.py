@@ -27,17 +27,23 @@ def tiny_config():
 
 class TestBackendFingerprints:
     def test_backend_salts_propagation_and_downstream(self):
-        frontier = ScenarioRun(tiny_config(), backend="frontier")
-        batched = ScenarioRun(tiny_config(), backend="batched")
-        fp_frontier = frontier.fingerprints()
-        fp_batched = batched.fingerprints()
-        # Upstream of propagation: shared.
-        assert fp_frontier["topology"] == fp_batched["topology"]
-        assert fp_frontier["ixps"] == fp_batched["ixps"]
-        # Propagation and everything downstream: re-keyed.
-        for stage in ("propagation", "collectors", "viewpoints",
-                      "scenario", "connectivity", "inference", "analyses"):
-            assert fp_frontier[stage] != fp_batched[stage], stage
+        fingerprints = {
+            backend: ScenarioRun(tiny_config(),
+                                 backend=backend).fingerprints()
+            for backend in ("frontier", "batched", "compiled")}
+        pairs = [("frontier", "batched"), ("frontier", "compiled"),
+                 ("batched", "compiled")]
+        for left, right in pairs:
+            fp_left, fp_right = fingerprints[left], fingerprints[right]
+            # Upstream of propagation: shared.
+            assert fp_left["topology"] == fp_right["topology"]
+            assert fp_left["ixps"] == fp_right["ixps"]
+            # Propagation and everything downstream: re-keyed.
+            for stage in ("propagation", "collectors", "viewpoints",
+                          "scenario", "connectivity", "inference",
+                          "analyses"):
+                assert fp_left[stage] != fp_right[stage], (left, right,
+                                                           stage)
 
     def test_default_backend_is_frontier(self):
         run = ScenarioRun(tiny_config())
@@ -87,19 +93,21 @@ class TestBackendArtifactIsolation:
         assert scenario.context.backend == "batched"
         assert scenario.make_engine().backend == "batched"
 
-    def test_batched_pipeline_results_equal_frontier(self):
+    @pytest.mark.parametrize("backend", ["batched", "compiled"])
+    def test_vector_pipeline_results_equal_frontier(self, backend):
         cache = ArtifactCache()
         frontier = ScenarioRun(tiny_config(), backend="frontier",
                                cache=cache).inference()
-        batched = ScenarioRun(tiny_config(), backend="batched",
-                              cache=cache).inference()
-        assert frontier.all_links() == batched.all_links()
-        assert frontier.links_by_ixp() == batched.links_by_ixp()
+        vectorized = ScenarioRun(tiny_config(), backend=backend,
+                                 cache=cache).inference()
+        assert frontier.all_links() == vectorized.all_links()
+        assert frontier.links_by_ixp() == vectorized.links_by_ixp()
 
-    def test_sharded_batched_propagation_identical_to_single_process(self):
-        single = scenario_run("tiny", backend="batched",
+    @pytest.mark.parametrize("backend", ["batched", "compiled"])
+    def test_sharded_propagation_identical_to_single_process(self, backend):
+        single = scenario_run("tiny", backend=backend,
                               cache=ArtifactCache())
-        sharded = scenario_run("tiny", backend="batched", workers=2,
+        sharded = scenario_run("tiny", backend=backend, workers=2,
                                cache=ArtifactCache())
         assert single.inference().all_links() == \
             sharded.inference().all_links()
@@ -108,4 +116,4 @@ class TestBackendArtifactIsolation:
 
 
 def test_backends_constant_matches_engine():
-    assert BACKENDS == ("frontier", "batched", "reference")
+    assert BACKENDS == ("frontier", "batched", "compiled", "reference")

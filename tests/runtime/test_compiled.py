@@ -1,0 +1,361 @@
+"""Differential and unit suite for the fused compiled backend.
+
+The compiled backend must reproduce the frontier engine *exactly* —
+fragment content and order, Adj-RIB-In offers, touched order — just
+like the batched backend it subclasses, while running its rounds
+through narrow planes and the fused resolve.  This module adds the
+compiled-specific surfaces on top of the shared three-backend suite in
+``test_batched.py``: the int32/int64 promotion rule, the path-id
+overflow guard, the numba probe, and the plan-shipping snapshot path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp.policy import Relationship
+from repro.bgp.propagation import Adjacency, OriginSpec, PropagationEngine
+from repro.runtime.batched import (
+    INT32_MAX,
+    BatchedPathStore,
+    BatchedPropagator,
+    PathIdOverflow,
+    fit_dtype,
+    numpy_available,
+)
+from repro.runtime.compiled import (
+    HAS_NUMBA,
+    NUMBA_DISABLE_ENV,
+    CompiledPropagator,
+    _probe_numba,
+    _py_winner_touch,
+    compiled_available,
+    compiled_batch_size,
+)
+from repro.runtime.context import PipelineContext
+from repro.runtime.snapshot import restore_context, snapshot_context
+
+from tests.runtime.test_batched import (
+    fragment_key,
+    random_internet,
+    random_origins,
+)
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="compiled backend requires numpy")
+
+
+# -- exact frontier equivalence ------------------------------------------------
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [1, 7, 20130507, 424242, 999983])
+def test_compiled_fragments_bit_identical_to_frontier(seed):
+    """Best AND offered fragments match the frontier engine exactly,
+    including discovery/offer order, on random policy topologies."""
+    rng = random.Random(seed)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    observers = rng.sample(asns, k=12)
+    alt = observers[:5]
+
+    frontier = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=observers, record_alternatives_at=alt)
+    compiled = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=observers, record_alternatives_at=alt, backend="compiled")
+    for spec, got_f, got_c in zip(origins,
+                                  frontier.batch_fragments(origins),
+                                  compiled.batch_fragments(origins)):
+        assert fragment_key(got_f[0]) == fragment_key(got_c[0]), \
+            (seed, spec.asn, "best")
+        assert fragment_key(got_f[1]) == fragment_key(got_c[1]), \
+            (seed, spec.asn, "offered")
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [3, 31337])
+def test_compiled_record_everything_matches_frontier(seed):
+    rng = random.Random(seed)
+    asns, adjacencies = random_internet(rng, num_ases=40)
+    origins = random_origins(rng, asns, count=15)
+    frontier = PipelineContext.from_adjacencies(adjacencies).engine()
+    compiled = PipelineContext.from_adjacencies(adjacencies).engine(
+        backend="compiled")
+    for got_f, got_c in zip(frontier.batch_fragments(origins),
+                            compiled.batch_fragments(origins)):
+        assert fragment_key(got_f[0]) == fragment_key(got_c[0])
+
+
+@requires_numpy
+def test_compiled_propagation_result_matches_frontier():
+    rng = random.Random(99)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    fast = PropagationEngine(adjacencies).propagate(origins)
+    compiled = PropagationEngine(adjacencies, backend="compiled").propagate(
+        origins)
+    assert fast.visible_links() == compiled.visible_links()
+    for origin in origins:
+        for asn in asns:
+            route_f = fast.best_route(asn, origin.asn)
+            route_c = compiled.best_route(asn, origin.asn)
+            assert (route_f is None) == (route_c is None)
+            if route_f is not None:
+                assert fragment_key([route_f]) == fragment_key([route_c])
+
+
+# -- int32/int64 promotion rule ------------------------------------------------
+
+
+@requires_numpy
+def test_fit_dtype_boundaries():
+    import numpy as np
+    assert fit_dtype(0) is np.int32
+    assert fit_dtype(INT32_MAX) is np.int32
+    assert fit_dtype(INT32_MAX + 1) is np.int64
+    # Negative sentinels must not be narrowed on the strength of their
+    # magnitude alone; the rule demands a non-negative bound.
+    assert fit_dtype(-1) is np.int64
+
+
+@requires_numpy
+def test_small_plan_uses_int32_planes():
+    import numpy as np
+    rng = random.Random(8)
+    _asns, adjacencies = random_internet(rng)
+    plan = PipelineContext.from_adjacencies(adjacencies).plan
+    assert plan.key_plane_dtype() is np.int32
+    assert plan.summary()["key_plane_bits"] == 32
+
+
+def _chain_adjacencies(num_ases, extra_peers=0, rng=None):
+    """A provider chain (maximal path lengths, so the packed key range
+    scales with the node count) plus optional random peer links."""
+    asns = [64500 + i for i in range(num_ases)]
+    adjacencies = []
+    for lower, upper in zip(asns, asns[1:]):
+        adjacencies.extend([
+            Adjacency(lower, upper, Relationship.PROVIDER),
+            Adjacency(upper, lower, Relationship.CUSTOMER),
+        ])
+    for _ in range(extra_peers):
+        a, b = rng.sample(asns, 2)
+        adjacencies.append(Adjacency(a, b, Relationship.PEER))
+        adjacencies.append(Adjacency(b, a, Relationship.PEER))
+    return asns, adjacencies
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [21, 1203])
+def test_int64_key_fallback_stays_bit_identical(seed):
+    """Topologies whose packed key range exceeds int32 (node counts
+    beyond ~2900) promote the planes to int64 and remain bit-identical
+    to the frontier engine."""
+    import numpy as np
+    rng = random.Random(seed)
+    asns, adjacencies = _chain_adjacencies(3000, extra_peers=40, rng=rng)
+    context = PipelineContext.from_adjacencies(adjacencies)
+    assert context.plan.key_plane_dtype() is np.int64
+
+    origins = random_origins(rng, asns, count=3)
+    observers = rng.sample(asns, k=25)
+    frontier = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=observers)
+    compiled = context.engine(record_at=observers, backend="compiled")
+    for got_f, got_c in zip(frontier.batch_fragments(origins),
+                            compiled.batch_fragments(origins)):
+        assert fragment_key(got_f[0]) == fragment_key(got_c[0])
+
+
+@requires_numpy
+def test_huge_asns_promote_via_arrays():
+    """4-byte ASNs above 2**31 force the via arrays (which hold raw
+    ASNs) to int64 while propagation stays exact."""
+    import numpy as np
+    base = 2**31 + 100
+    asns = [base + i for i in range(6)]
+    adjacencies = []
+    for lower, upper in zip(asns, asns[1:]):
+        adjacencies.extend([
+            Adjacency(lower, upper, Relationship.PROVIDER),
+            Adjacency(upper, lower, Relationship.CUSTOMER),
+        ])
+    adjacencies.append(Adjacency(
+        asns[0], asns[5], Relationship.RS_PEER,
+        via_rs_asn=base + 50, rs_transparent=False))
+    adjacencies.append(Adjacency(
+        asns[5], asns[0], Relationship.RS_PEER,
+        via_rs_asn=base + 50, rs_transparent=False))
+    context = PipelineContext.from_adjacencies(adjacencies)
+    assert context.plan.peer.via.dtype == np.int64
+
+    from repro.bgp.prefix import Prefix
+    origins = [OriginSpec(asn=asns[0],
+                          prefixes=[Prefix.from_octets(10, 0, 0, 0, 24)])]
+    frontier = PipelineContext.from_adjacencies(adjacencies).engine()
+    compiled = context.engine(backend="compiled")
+    for got_f, got_c in zip(frontier.batch_fragments(origins),
+                            compiled.batch_fragments(origins)):
+        assert fragment_key(got_f[0]) == fragment_key(got_c[0])
+
+
+# -- path-id overflow guard ----------------------------------------------------
+
+
+@requires_numpy
+def test_path_store_id_limit_raises_instead_of_wrapping():
+    import numpy as np
+    store = BatchedPathStore(capacity=4, id_limit=3)
+    store.alloc(np.array([1, 2]), np.array([-1, -1]))
+    with pytest.raises(PathIdOverflow, match="id limit"):
+        store.alloc(np.array([3, 4]), np.array([-1, -1]))
+    # The failed alloc must not have committed any cells.
+    assert len(store) == 2
+
+
+@requires_numpy
+def test_compiled_retries_batch_in_int64_on_overflow():
+    """A path-id overflow inside a narrow-plane batch transparently
+    re-runs the batch with int64 planes, bit-identically."""
+    import numpy as np
+    rng = random.Random(17)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns, count=6)
+    observers = rng.sample(asns, k=10)
+
+    class TightCompiledPropagator(CompiledPropagator):
+        def _make_paths(self, num_origins):
+            paths = super()._make_paths(num_origins)
+            if self._dtype is np.int32:
+                paths.id_limit = 8  # force the overflow path
+            return paths
+
+    context = PipelineContext.from_adjacencies(adjacencies)
+    propagator = TightCompiledPropagator(context.plan, context.bags)
+    nodes = [context.index.id_of[o.asn] for o in origins]
+    batch = propagator.run_batch(nodes, [0] * len(nodes))
+    assert propagator._dtype is np.int64  # promotion is sticky
+    reference = BatchedPropagator(context.plan, context.bags).run_batch(
+        nodes, [0] * len(nodes))
+    assert np.array_equal(batch.cls, reference.cls)
+    assert np.array_equal(batch.length, reference.length)
+    assert np.array_equal(batch.frm, reference.frm)
+    for row in range(len(nodes)):
+        assert list(batch.touched[row]) == list(reference.touched[row])
+
+
+# -- fused winner/touch kernel -------------------------------------------------
+
+
+@requires_numpy
+def test_winner_touch_kernel_matches_sequential_semantics():
+    """The fused scatter marks exactly the frontier's sequential
+    acceptance: per target, the smallest key wins with earliest
+    candidate breaking ties, and the first candidate touching an
+    untouched target is marked."""
+    import numpy as np
+    rng = random.Random(23)
+    num_targets = 17
+    n = 120
+    flat = np.array([rng.randrange(num_targets) for _ in range(n)],
+                    dtype=np.int64)
+    key = np.array([rng.randrange(50) for _ in range(n)], dtype=np.int64)
+    newly = np.array([rng.random() < 0.4 for _ in range(n)])
+    work_key = np.zeros(num_targets, dtype=np.int64)
+    work_touch = np.zeros(num_targets, dtype=np.int64)
+    winner, first = _py_winner_touch(flat, key, newly, work_key, work_touch)
+
+    best = {}
+    seen = set()
+    expect_winner = [False] * n
+    expect_first = [False] * n
+    for i in range(n):
+        target = int(flat[i])
+        if target not in best or key[i] < key[best[target]]:
+            best[target] = i
+        if newly[i] and target not in seen:
+            seen.add(target)
+            expect_first[i] = True
+    for i in best.values():
+        expect_winner[i] = True
+    assert winner.view(bool).tolist() == expect_winner
+    assert first.tolist() == [1 if f else 0 for f in expect_first]
+
+
+# -- capability probe and degradation -----------------------------------------
+
+
+def test_probe_respects_disable_env(monkeypatch):
+    monkeypatch.setenv(NUMBA_DISABLE_ENV, "1")
+    assert _probe_numba() is None
+
+
+def test_has_numba_is_a_bool():
+    assert isinstance(HAS_NUMBA, bool)
+
+
+@requires_numpy
+def test_compiled_available_tracks_numpy():
+    assert compiled_available() is True
+
+
+@requires_numpy
+def test_compiled_backend_selectable_without_numba(monkeypatch):
+    """Selecting the compiled backend never raises regardless of numba:
+    force the pure-numpy fused path and check it still propagates."""
+    monkeypatch.setattr(CompiledPropagator, "_use_jit", False)
+    rng = random.Random(31)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns, count=4)
+    frontier = PipelineContext.from_adjacencies(adjacencies).engine()
+    compiled = PipelineContext.from_adjacencies(adjacencies).engine(
+        backend="compiled")
+    for got_f, got_c in zip(frontier.batch_fragments(origins),
+                            compiled.batch_fragments(origins)):
+        assert fragment_key(got_f[0]) == fragment_key(got_c[0])
+
+
+# -- batch sizing --------------------------------------------------------------
+
+
+@requires_numpy
+def test_compiled_batch_size_positive_and_budgeted():
+    rng = random.Random(41)
+    _asns, adjacencies = random_internet(rng)
+    plan = PipelineContext.from_adjacencies(adjacencies).plan
+    assert compiled_batch_size(plan) >= 1
+    # A starved budget still yields a runnable batch size, and a
+    # generous one is capped at the cache-friendly default width.
+    assert compiled_batch_size(plan, budget_bytes=1) == 1
+    assert compiled_batch_size(plan, budget_bytes=1 << 40) == \
+        compiled_batch_size(plan)
+
+
+# -- plan shipping through snapshots ------------------------------------------
+
+
+@requires_numpy
+def test_snapshot_ships_plan_when_asked():
+    rng = random.Random(43)
+    _asns, adjacencies = random_internet(rng)
+    context = PipelineContext.from_adjacencies(adjacencies,
+                                               backend="compiled")
+    snapshot = snapshot_context(context, include_plan=True)
+    assert snapshot.plan is not None
+    restored = restore_context(snapshot)
+    # The restored context replays the shipped schedule, no recompile.
+    assert restored._plan is snapshot.plan
+    assert restored.backend == "compiled"
+
+
+@requires_numpy
+def test_snapshot_without_plan_stays_lazy():
+    rng = random.Random(47)
+    _asns, adjacencies = random_internet(rng)
+    context = PipelineContext.from_adjacencies(adjacencies)
+    snapshot = snapshot_context(context)
+    assert snapshot.plan is None
+    restored = restore_context(snapshot)
+    assert restored._plan is None

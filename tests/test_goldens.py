@@ -107,6 +107,23 @@ def test_scenario_matches_golden(name, request):
         f"{name}: object and bitset inference disagree")
 
 
+@pytest.mark.parametrize("backend", ["batched", "compiled"])
+@pytest.mark.parametrize("name", scenario_names())
+def test_propagation_backends_match_golden_links(name, backend):
+    """Every registered scenario reproduces its golden link set under
+    every vectorized propagation backend — the goldens therefore pin
+    frontier, batched and compiled alike."""
+    pytest.importorskip("numpy")
+    spec = get_scenario(name)
+    run = ScenarioRun(spec.config(GOLDEN_SIZE), scenario=name,
+                      cache=ArtifactCache(), backend=backend)
+    links = [[int(a), int(b)] for a, b in run.inference().all_links()]
+    golden = json.loads(golden_path(name).read_text())
+    assert links_digest(links) == golden["links_sha256"], (
+        f"{name}: {backend} links diverged from the frontier golden")
+    assert links == golden["links"]
+
+
 def test_goldens_cover_every_registered_scenario():
     """No stale or missing fixtures: the goldens directory mirrors the
     scenario registry exactly."""
