@@ -41,9 +41,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+try:  # optional: the columnar fragment plane needs numpy, the engine doesn't
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    np = None  # type: ignore[assignment]
+
 from repro.bgp.communities import Community
 from repro.bgp.policy import Relationship
 from repro.bgp.prefix import Prefix
+from repro.runtime.fragments import (
+    PathTable,
+    RouteBlock,
+    block_from_columns,
+    fragments_available,
+)
 from repro.runtime.frontier import (
     CLASS_CUSTOMER,
     CLASS_ORIGIN,
@@ -70,6 +81,7 @@ __all__ = [
     "PropagatedRoute",
     "PropagationEngine",
     "PropagationResult",
+    "RouteBlock",
     "adjacencies_from_index",
     "bidirectional_adjacencies",
 ]
@@ -177,24 +189,76 @@ class PropagationResult:
     :class:`PropagatedRoute` the observer selected as best, plus — for
     observers registered with ``record_alternatives`` — the list of all
     candidate routes offered to them (their Adj-RIB-In).
+
+    Fragments arrive columnar (:class:`~repro.runtime.fragments.
+    RouteBlock`) from the engine and stay columnar until an object-level
+    accessor is called: the per-observer dicts are folded lazily, in
+    recording order, so bulk consumers (``visible_links``, the
+    collector/inference fast paths) never build per-route objects at
+    all.
     """
 
     def __init__(self) -> None:
         self._best: Dict[int, Dict[int, PropagatedRoute]] = {}
         self._alternatives: Dict[int, Dict[int, List[PropagatedRoute]]] = {}
         self._origins: Dict[int, OriginSpec] = {}
+        #: recorded fragments not yet folded into the dicts, in
+        #: recording order: (origin, best, offered) triples.
+        self._pending: List[Tuple[int, Sequence, Sequence]] = []
+        #: every block-backed recording, kept after indexing so the
+        #: columnar fast paths survive object-level access.
+        self._block_records: List[Tuple[int, RouteBlock, RouteBlock]] = []
+        #: True while every recorded fragment is a RouteBlock (the
+        #: precondition for the columnar fast paths).
+        self._columnar = True
+        self._observer_rows: Optional[Tuple[int, Dict]] = None
 
     # -- population (used by the engine) ------------------------------------
 
+    def _record_fragments(self, origin: int, best: Sequence,
+                          offered: Sequence) -> None:
+        """Record one origin's (best, offered) fragments.
+
+        RouteBlocks stay columnar; folding into the per-observer dicts
+        is deferred to the first object-level read.
+        """
+        self._pending.append((origin, best, offered))
+        if isinstance(best, RouteBlock) and isinstance(offered, RouteBlock):
+            self._block_records.append((origin, best, offered))
+        else:
+            self._columnar = False
+
     def _record_best(self, origin: int, route: PropagatedRoute) -> None:
+        self._ensure_indexed()
+        self._columnar = False
         self._best.setdefault(route.asn, {})[origin] = route
 
     def _record_alternative(self, origin: int, route: PropagatedRoute) -> None:
+        self._ensure_indexed()
+        self._columnar = False
         per_as = self._alternatives.setdefault(route.asn, {})
         per_as.setdefault(origin, []).append(route)
 
     def _record_origin(self, spec: OriginSpec) -> None:
         self._origins[spec.asn] = spec
+
+    def _ensure_indexed(self) -> None:
+        """Fold pending fragments into the per-observer dicts.
+
+        Rows are materialised in recording order, so observer/origin
+        dict insertion orders are identical to the eager path.
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        best_index = self._best
+        alt_index = self._alternatives
+        for origin, best, offered in pending:
+            for route in best:
+                best_index.setdefault(route.asn, {})[origin] = route
+            for route in offered:
+                alt_index.setdefault(route.asn, {}).setdefault(
+                    origin, []).append(route)
 
     # -- read API ------------------------------------------------------------
 
@@ -208,25 +272,50 @@ class PropagationResult:
 
     def observers(self) -> List[int]:
         """All ASes with recorded routes."""
+        self._ensure_indexed()
         return list(self._best)
 
     def best_route(self, observer_asn: int, origin_asn: int) -> Optional[PropagatedRoute]:
         """Best route held by *observer_asn* towards *origin_asn*."""
+        self._ensure_indexed()
         return self._best.get(observer_asn, {}).get(origin_asn)
 
     def routes_at(self, observer_asn: int) -> Dict[int, PropagatedRoute]:
         """Mapping origin ASN -> best route at *observer_asn*."""
+        self._ensure_indexed()
         return dict(self._best.get(observer_asn, {}))
 
     def iter_routes_at(self, observer_asn: int) -> Iterable[Tuple[int, PropagatedRoute]]:
         """Iterate ``(origin ASN, best route)`` pairs at *observer_asn*
         without copying the underlying mapping."""
+        self._ensure_indexed()
         return self._best.get(observer_asn, {}).items()
+
+    def iter_best_columns_at(self, observer_asn: int):
+        """Columnar fast path for per-observer consumers.
+
+        Returns ``(origin_asn, block, row)`` triples in recording order
+        — the same pairs :meth:`iter_routes_at` yields, without
+        materialising route objects — or ``None`` when the result is
+        not fully block-backed (callers then fall back to the object
+        API).
+        """
+        if not self._columnar or not self._block_records:
+            return None
+        cached = self._observer_rows
+        if cached is None or cached[0] != len(self._block_records):
+            rows_of: Dict[int, List[Tuple[int, RouteBlock, int]]] = {}
+            for origin, best, _offered in self._block_records:
+                for row, asn in enumerate(best.asn_list()):
+                    rows_of.setdefault(asn, []).append((origin, best, row))
+            cached = self._observer_rows = (len(self._block_records), rows_of)
+        return cached[1].get(observer_asn, ())
 
     def all_paths(self, observer_asn: int, origin_asn: int) -> List[PropagatedRoute]:
         """All candidate routes offered to *observer_asn* for *origin_asn*
         (best first).  Falls back to the best route only when alternatives
         were not recorded for this observer."""
+        self._ensure_indexed()
         alternatives = self._alternatives.get(observer_asn, {}).get(origin_asn)
         if alternatives:
             ordered = sorted(
@@ -240,6 +329,9 @@ class PropagationResult:
     def visible_links(self, observer_asns: Optional[Iterable[int]] = None) -> Set[Tuple[int, int]]:
         """AS links appearing in the best paths of the given observers
         (all recorded observers by default)."""
+        if observer_asns is None and self._columnar and self._block_records:
+            return self._links_from_blocks()
+        self._ensure_indexed()
         observers = list(observer_asns) if observer_asns is not None else self.observers()
         links: Set[Tuple[int, int]] = set()
         for observer in observers:
@@ -248,6 +340,28 @@ class PropagationResult:
                 for left, right in zip(path, path[1:]):
                     if left != right:
                         links.add((min(left, right), max(left, right)))
+        return links
+
+    def _links_from_blocks(self) -> Set[Tuple[int, int]]:
+        """Columnar ``visible_links``: adjacent pairs straight from the
+        CSR path columns, deduplicated as packed uint64 keys."""
+        packed_chunks = []
+        links: Set[Tuple[int, int]] = set()
+        for _origin, best, _offered in self._block_records:
+            lo, hi = best.link_pairs()
+            if not len(lo):
+                continue
+            if int(hi.max()) < (1 << 32):
+                packed_chunks.append(
+                    (lo.astype(np.uint64) << np.uint64(32))
+                    | hi.astype(np.uint64))
+            else:  # ASNs beyond 32 bits: packing would collide
+                links.update(zip(lo.tolist(), hi.tolist()))
+        if packed_chunks:
+            packed = np.unique(np.concatenate(packed_chunks))
+            los = (packed >> np.uint64(32)).astype(np.int64).tolist()
+            his = (packed & np.uint64(0xFFFFFFFF)).astype(np.int64).tolist()
+            links.update(zip(los, his))
         return links
 
 
@@ -317,6 +431,7 @@ class PropagationEngine:
         self._batched = None
         self._reference = None
         self._record_mask = None
+        self._asn_array = None
         self._record_at = set(record_at) if record_at is not None else None
         self._record_alt_at = set(record_alternatives_at or ())
         id_of = self._index.id_of
@@ -353,11 +468,7 @@ class PropagationEngine:
         for spec, (best_routes, offered_routes) in zip(
                 origins, self.batch_fragments(origins)):
             result._record_origin(spec)
-            origin = spec.asn
-            for route in best_routes:
-                result._record_best(origin, route)
-            for route in offered_routes:
-                result._record_alternative(origin, route)
+            result._record_fragments(spec.asn, best_routes, offered_routes)
         return result
 
     def propagate_origin(self, spec: OriginSpec) -> PropagationResult:
@@ -374,19 +485,23 @@ class PropagationEngine:
 
     def batch_fragments(
         self, specs: Sequence[OriginSpec]
-    ) -> List[Tuple[List[PropagatedRoute], List[PropagatedRoute]]]:
-        """The recorded (best, offered) routes for a batch of origins.
+    ) -> List[Tuple[Sequence[PropagatedRoute], Sequence[PropagatedRoute]]]:
+        """The recorded (best, offered) fragments for a batch of origins.
 
         This is the unit of work the sharded pipeline distributes across
-        worker processes: fragments are plain materialised routes, safe
-        to pickle and to merge into a :class:`PropagationResult` in any
-        process.  Under the batched backend the cache misses of the
-        whole batch are propagated together in :data:`BATCH_SIZE` groups
-        of vectorized sweeps; the frontier and reference backends
-        resolve them one origin at a time.
+        worker processes.  With numpy present each fragment is a
+        :class:`~repro.runtime.fragments.RouteBlock` — columnar, cheap
+        to pickle (a handful of arrays instead of thousands of route
+        tuples) and iterable as lazy ``PropagatedRoute`` views; without
+        numpy (and under the reference oracle) fragments are plain route
+        lists with identical contents.  Under the batched backend the
+        cache misses of the whole batch are propagated together in
+        :data:`BATCH_SIZE` groups of vectorized sweeps; the frontier and
+        reference backends resolve them one origin at a time.
         """
         specs = list(specs)
         results: List[Optional[Tuple]] = [None] * len(specs)
+        blocks = fragments_available() and self._backend != "reference"
 
         # Memoise per-origin fragments only when recording is bounded to
         # explicit observers: a record-everything engine would pin
@@ -403,15 +518,18 @@ class PropagationEngine:
             if origin_node is None:
                 # Origin is isolated; it still holds its own route.
                 if recordable is None or origin in recordable:
-                    results[position] = ([PropagatedRoute(
+                    own = [PropagatedRoute(
                         asn=origin,
                         path=(origin,),
                         communities=self._bags.value(origin_bag),
                         provenance=CLASS_ORIGIN,
                         learned_from=None,
-                    )], [])
+                    )]
                 else:
-                    results[position] = ([], [])
+                    own = []
+                results[position] = (
+                    (RouteBlock.from_routes(own), RouteBlock.empty())
+                    if blocks else (own, []))
                 continue
             key = (origin, origin_bag, self._record_sig)
             fragments = cache.get(key) if memoizable else None
@@ -453,35 +571,128 @@ class PropagationEngine:
                     origin_nodes[start:start + batch_size],
                     origin_bags[start:start + batch_size],
                     self._alt_nodes)
-                # Touched nodes pre-filtered to the recorded set (a
-                # vectorized mask) and every recorded path materialised
-                # in one bulk chain walk, so the per-route loop below
-                # only assembles objects.
-                import numpy as np
-                touched = [batch.touched_nodes(row, mask)
-                           for row in range(batch.num_origins)]
-                pid_chunks = [batch.pid[row][nodes]
-                              for row, nodes in enumerate(touched) if nodes]
-                offer_pids = batch.offer_pids()
-                if len(offer_pids):
-                    pid_chunks.append(offer_pids)
-                if pid_chunks:
-                    batch.paths.materialize_many(
-                        np.concatenate(pid_chunks))
-                for row in range(batch.num_origins):
-                    state = OriginState(
-                        batch.cls[row], batch.length[row], batch.frm[row],
-                        batch.pid[row], batch.bag[row],
-                        touched[row], batch.offers[row])
-                    fragments.append(
-                        self._materialize(state, paths=batch.paths))
+                fragments.extend(self._batch_blocks(batch, mask))
             return fragments
         if self._backend == "reference":
             return [self._reference_fragments(spec)
                     for spec in pending_specs]
         propagator = self._ctx.propagator
+        if fragments_available():
+            mask = self._record_node_mask()
+            return [self._frontier_block(
+                        propagator.run(node, bag, self._alt_nodes), mask)
+                    for node, bag in zip(origin_nodes, origin_bags)]
         return [self._materialize(propagator.run(node, bag, self._alt_nodes))
                 for node, bag in zip(origin_nodes, origin_bags)]
+
+    def _node_asn_array(self):
+        """Node id -> ASN as an int64 array (built once per engine)."""
+        if self._asn_array is None:
+            self._asn_array = np.asarray(self._index.node_asns,
+                                         dtype=np.int64)
+        return self._asn_array
+
+    def _batch_blocks(self, batch, mask) -> List[Tuple]:
+        """All (best, offered) :class:`RouteBlock`s of one vectorized
+        batch.
+
+        ONE chain walk (:class:`PathTable`) covers every recorded path
+        id — touched and offered — and recorded-observer filtering is
+        the boolean *mask* applied to the column arrays, not a
+        per-route membership test.
+        """
+        node_asns = self._node_asn_array()
+        bag_value = self._bags.value
+        (off_to, off_cls, _off_len, off_frm, off_pid, off_bag), bounds = \
+            batch.offer_columns()
+        touched = [batch.touched_array(row, mask)
+                   for row in range(batch.num_origins)]
+        pid_chunks = [batch.pid[row][nodes]
+                      for row, nodes in enumerate(touched)]
+        if len(off_pid):
+            pid_chunks.append(off_pid)
+        heads, parents = batch.paths.columns()
+        table = PathTable(heads, parents, np.concatenate(pid_chunks))
+        blocks: List[Tuple] = []
+        for row in range(batch.num_origins):
+            nodes = touched[row]
+            frm = batch.frm[row][nodes]
+            best = block_from_columns(
+                asns=node_asns[nodes],
+                provenance=batch.cls[row][nodes],
+                learned_from=np.where(
+                    frm >= 0, node_asns[np.maximum(frm, 0)], -1),
+                pids=batch.pid[row][nodes],
+                bag_ids=batch.bag[row][nodes],
+                bag_value=bag_value,
+                path_table=table)
+            row_slice = slice(int(bounds[row]), int(bounds[row + 1]))
+            o_to = off_to[row_slice]
+            o_cls = off_cls[row_slice]
+            o_frm = off_frm[row_slice]
+            o_pid = off_pid[row_slice]
+            o_bag = off_bag[row_slice]
+            if mask is not None and len(o_to):
+                keep = mask[o_to]
+                o_to, o_cls, o_frm, o_pid, o_bag = (
+                    o_to[keep], o_cls[keep], o_frm[keep], o_pid[keep],
+                    o_bag[keep])
+            offered = block_from_columns(
+                asns=node_asns[o_to],
+                provenance=o_cls,
+                learned_from=node_asns[o_frm],
+                pids=o_pid,
+                bag_ids=o_bag,
+                bag_value=bag_value,
+                path_table=table)
+            blocks.append((best, offered))
+        return blocks
+
+    def _frontier_block(self, state: OriginState, mask) -> Tuple:
+        """One frontier origin's state as (best, offered) RouteBlocks.
+
+        The frontier propagator keeps full per-node python lists; they
+        convert to arrays once per origin (C-speed) and are then
+        gathered columnar, with the per-origin path store walked once.
+        """
+        node_asns = self._node_asn_array()
+        bag_value = self._bags.value
+        nodes = np.asarray(state.touched, dtype=np.int64)
+        if mask is not None and len(nodes):
+            nodes = nodes[mask[nodes]]
+        cls_plane = np.asarray(state.cls, dtype=np.int64)
+        frm_plane = np.asarray(state.frm, dtype=np.int64)
+        pid_plane = np.asarray(state.pid, dtype=np.int64)
+        bag_plane = np.asarray(state.bag, dtype=np.int64)
+        if state.offers:
+            offer_columns = np.asarray(state.offers, dtype=np.int64)
+            if mask is not None:
+                offer_columns = offer_columns[mask[offer_columns[:, 0]]]
+        else:
+            offer_columns = np.empty((0, 6), dtype=np.int64)
+        heads, parents = self._paths.columns()
+        best_pids = pid_plane[nodes]
+        table = PathTable(heads, parents,
+                          np.concatenate((best_pids, offer_columns[:, 4])))
+        frm = frm_plane[nodes]
+        best = block_from_columns(
+            asns=node_asns[nodes],
+            provenance=cls_plane[nodes],
+            learned_from=np.where(
+                frm >= 0, node_asns[np.maximum(frm, 0)], -1),
+            pids=best_pids,
+            bag_ids=bag_plane[nodes],
+            bag_value=bag_value,
+            path_table=table)
+        offered = block_from_columns(
+            asns=node_asns[offer_columns[:, 0]],
+            provenance=offer_columns[:, 1],
+            learned_from=node_asns[offer_columns[:, 3]],
+            pids=offer_columns[:, 4],
+            bag_ids=offer_columns[:, 5],
+            bag_value=bag_value,
+            path_table=table)
+        return best, offered
 
     def _batched_propagator(self):
         if self._batched is None:
@@ -499,7 +710,6 @@ class PropagationEngine:
         if self._record_at is None:
             return None
         if self._record_mask is None:
-            import numpy as np
             mask = np.zeros(self._index.num_nodes, dtype=bool)
             id_of = self._index.id_of
             for asn in self._record_at:

@@ -35,18 +35,46 @@ class VantagePoint:
     def exported_routes(self, propagation: PropagationResult,
                         timestamp: float = 0.0) -> List[RibEntry]:
         """The RIB entries this vantage point exports to its collector,
-        derived from the routes it holds in the propagation result."""
+        derived from the routes it holds in the propagation result.
+
+        Columnar results are read straight from the route-block columns
+        (no ``PropagatedRoute`` objects); one ``ASPath`` is shared by
+        every prefix of an origin, which also lets downstream passive
+        extraction memoise on path identity.
+        """
         entries: List[RibEntry] = []
-        for origin, route in propagation.iter_routes_at(self.asn):
-            if not self._exports(route):
+        columns = getattr(propagation, "iter_best_columns_at", None)
+        triples = columns(self.asn) if columns is not None else None
+        if triples is None:
+            for origin, route in propagation.iter_routes_at(self.asn):
+                if not self._exports(route):
+                    continue
+                spec = propagation.origin_spec(origin)
+                for prefix in spec.prefixes:
+                    entries.append(RibEntry(
+                        peer_asn=self.asn,
+                        prefix=prefix,
+                        as_path=ASPath(route.path),
+                        communities=route.communities,
+                        collector=self.collector,
+                        timestamp=timestamp,
+                    ))
+            return entries
+        full = self.feed_type is FeedType.FULL
+        for origin, block, row in triples:
+            if not full and block.provenance_at(row) > CLASS_CUSTOMER:
                 continue
             spec = propagation.origin_spec(origin)
+            if not spec.prefixes:
+                continue
+            as_path = ASPath(block.path(row))
+            communities = block.communities_at(row)
             for prefix in spec.prefixes:
                 entries.append(RibEntry(
                     peer_asn=self.asn,
                     prefix=prefix,
-                    as_path=ASPath(route.path),
-                    communities=route.communities,
+                    as_path=as_path,
+                    communities=communities,
                     collector=self.collector,
                     timestamp=timestamp,
                 ))

@@ -200,12 +200,23 @@ def extract_passive_planes(
     # (path asns, community bag) -> None (filtered) or
     # (ixp name, setter ASN, policy id).
     skeletons: Dict[Tuple[Tuple[int, ...], FrozenSet], Optional[Tuple]] = {}
+    # Identity layer over the value memo: columnar propagation shares
+    # one ASPath/bag object per (origin, observer) across prefixes, so
+    # the common repeat resolves on two id() lookups without hashing
+    # the path tuple.  Safe because *entries* holds every keyed object
+    # alive for the whole pass (ids cannot be reused).
+    id_skeletons: Dict[Tuple[int, int], Optional[Tuple]] = {}
     for entry in entries:
-        key = (entry.as_path.asns, entry.communities)
-        skeleton = skeletons.get(key, _MISS)
+        ident = (id(entry.as_path), id(entry.communities))
+        skeleton = id_skeletons.get(ident, _MISS)
         if skeleton is _MISS:
-            skeleton = _passive_skeleton(entry, interpreter, passive, policies)
-            skeletons[key] = skeleton
+            key = (entry.as_path.asns, entry.communities)
+            skeleton = skeletons.get(key, _MISS)
+            if skeleton is _MISS:
+                skeleton = _passive_skeleton(
+                    entry, interpreter, passive, policies)
+                skeletons[key] = skeleton
+            id_skeletons[ident] = skeleton
         if skeleton is None:
             continue
         ixp_name, setter, policy_id = skeleton

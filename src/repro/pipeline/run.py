@@ -247,6 +247,16 @@ class ScenarioRun:
             summary[event.status] = summary.get(event.status, 0) + 1
         return summary
 
+    def runtime_stats(self) -> Dict[str, int]:
+        """Size/accounting counters of the scenario's runtime context
+        (interner sizes, route-cache entries/bytes/hits/misses, ...).
+
+        Resolves the scenario stage if it has not run yet; the
+        route-cache counters make memoisation behaviour observable from
+        a run handle (e.g. repeated propagation hitting cached blocks).
+        """
+        return self.scenario().context.stats()
+
     def __repr__(self) -> str:
         resolved = ", ".join(f"{e.stage}:{e.status}" for e in self.events)
         return (f"ScenarioRun({self.spec.name}: "

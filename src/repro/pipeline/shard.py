@@ -1,8 +1,11 @@
 """Multi-process sharding of the embarrassingly parallel stages.
 
 The propagation stage is origin-parallel: every origin's propagation is
-independent, and the recorded route fragments are plain materialised
-objects.  :func:`sharded_propagate` ships a compact
+independent, and the recorded route fragments cross the worker boundary
+columnar — :class:`~repro.runtime.fragments.RouteBlock`s pickle as a
+handful of numpy arrays per origin instead of thousands of route
+tuples, so IPC cost scales with array bytes, not route count.
+:func:`sharded_propagate` ships a compact
 :class:`~repro.runtime.snapshot.ContextSnapshot` to each worker once
 (via the pool initializer), fans contiguous **origin batches** out with
 ``ProcessPoolExecutor.map`` (which preserves order), and merges the
@@ -53,8 +56,9 @@ CHUNKS_PER_WORKER = 4
 #: multiply rather than compete for batch width.
 VECTORIZED_BACKENDS = frozenset({"batched", "compiled"})
 
-#: One origin's recorded fragments: (best routes, offered routes).
-Fragments = Tuple[List[PropagatedRoute], List[PropagatedRoute]]
+#: One origin's recorded fragments: (best routes, offered routes) —
+#: RouteBlocks under the columnar plane, route lists otherwise.
+Fragments = Tuple[Sequence[PropagatedRoute], Sequence[PropagatedRoute]]
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -160,8 +164,8 @@ def sharded_propagate(
         for chunk, fragments in zip(chunks, pool.map(_propagate_chunk, chunks)):
             for spec, (best, offered) in zip(chunk, fragments):
                 result._record_origin(spec)
-                for route in best:
-                    result._record_best(spec.asn, route)
-                for route in offered:
-                    result._record_alternative(spec.asn, route)
+                # Blocks stay columnar through the merge; the result
+                # folds them into its dicts lazily, in this exact
+                # recording order (bit-identical to single-process).
+                result._record_fragments(spec.asn, best, offered)
     return result

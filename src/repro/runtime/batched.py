@@ -354,6 +354,16 @@ class BatchedPathStore:
             memo[cell] = suffix
         return suffix
 
+    def columns(self):
+        """The live ``(heads, parents)`` cell columns (array views).
+
+        Feed for the vectorized chain walk
+        (:func:`repro.runtime.fragments.walk_paths`), which materialises
+        every recorded path of a batch in one pass instead of N scalar
+        :meth:`materialize` calls.
+        """
+        return self._heads[:self._size], self._parents[:self._size]
+
     def __len__(self) -> int:
         return self._size
 
@@ -432,13 +442,47 @@ class BatchState:
         return np.concatenate(
             [chunk[5] for chunk in self._offer_chunks])
 
-    def touched_nodes(self, row: int, mask=None) -> List[int]:
-        """Touched node ids of *row* in discovery order, optionally
-        restricted to a boolean node *mask*."""
+    def touched_array(self, row: int, mask=None):
+        """Touched node ids of *row* in discovery order as an array,
+        optionally restricted to a boolean node *mask* — the columnar
+        feed for :class:`~repro.runtime.fragments.RouteBlock` building."""
         touched = self.touched[row]
         if mask is not None:
             touched = touched[mask[touched]]
-        return touched.tolist()
+        return touched
+
+    def touched_nodes(self, row: int, mask=None) -> List[int]:
+        """Touched node ids of *row* in discovery order, optionally
+        restricted to a boolean node *mask*."""
+        return self.touched_array(row, mask).tolist()
+
+    def offer_columns(self):
+        """Offers as batch-wide column arrays plus per-row bounds.
+
+        Returns ``((to, cls, len, frm, pid, bag), bounds)`` where the six
+        parallel arrays are sorted stably by origin row — the exact
+        recording order :func:`per_origin_offers` produces — and
+        ``bounds`` holds the exclusive per-row end offsets
+        (``bounds[row]:bounds[row + 1]`` slices row *row*).  This is the
+        columnar counterpart of :attr:`offers`: no tuples, no per-row
+        Python conversion.
+        """
+        bounds = np.zeros(self.num_origins + 1, dtype=np.int64)
+        if not self._offer_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return (empty,) * 6, bounds
+        if len(self._offer_chunks) == 1:
+            columns = list(self._offer_chunks[0])
+        else:
+            columns = [
+                np.concatenate([chunk[col] for chunk in self._offer_chunks])
+                for col in range(7)]
+        rows = np.asarray(columns[0])
+        order = np.argsort(rows, kind="stable")
+        np.cumsum(np.bincount(rows, minlength=self.num_origins),
+                  out=bounds[1:])
+        return tuple(np.asarray(column)[order]
+                     for column in columns[1:]), bounds
 
     def origin_state(self, row: int) -> OriginState:
         """Row *row* as an :class:`OriginState` (arrays are row views)."""

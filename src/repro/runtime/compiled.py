@@ -35,7 +35,12 @@ Exactness is inherited: the fused resolve computes the same winner set,
 first-touch order, offer records and transactional conflict splits as
 the batched replay (the shared :meth:`BatchedPropagator._commit` applies
 them), and the differential suite in ``tests/runtime/test_compiled.py``
-plus the goldens pin bit-identity against both other backends.
+plus the goldens pin bit-identity against both other backends.  Result
+assembly is shared too: the engine reads the finished planes through
+``BatchState.touched_array``/``offer_columns`` and the path store's
+``columns()`` into columnar :class:`~repro.runtime.fragments.RouteBlock`
+fragments, so the narrow int32 planes flow into int64 block columns
+without a per-route conversion loop.
 """
 
 from __future__ import annotations

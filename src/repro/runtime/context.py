@@ -35,6 +35,92 @@ DEFAULT_INFERENCE_BACKEND = "object"
 _MAX_INFERENCE_PLANE_ENTRIES = 8
 _MAX_REACHABILITY_MATRICES = 4
 
+_MISS = object()
+
+#: Rough per-route footprint charged for fragments without an ``nbytes``
+#: (eager object lists): slots object + path tuple, order of magnitude.
+_ROUTE_OBJECT_BYTES = 96
+
+
+def _fragments_nbytes(fragments) -> int:
+    """Approximate byte footprint of one cached (best, offered) pair.
+
+    Columnar :class:`~repro.runtime.fragments.RouteBlock`s report their
+    exact array footprint via ``nbytes``; object lists are charged a
+    flat per-route estimate.
+    """
+    total = 0
+    for part in fragments:
+        nbytes = getattr(part, "nbytes", None)
+        total += int(nbytes) if nbytes is not None \
+            else _ROUTE_OBJECT_BYTES * len(part)
+    return total
+
+
+class RouteCache:
+    """Memoised per-origin route fragments, with accounting.
+
+    Dict-shaped (``get``/``[]=``/``len``/``in``/``clear``) so the
+    engine's memoisation protocol is unchanged, but every entry is
+    counted: ``entries``/``bytes`` give the current footprint (the
+    growth-without-bound visibility a later eviction policy needs) and
+    ``hits``/``misses`` count :meth:`get` outcomes across the cache's
+    lifetime (``clear`` resets the footprint, not the counters).
+    """
+
+    __slots__ = ("_entries", "bytes", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, Tuple] = {}
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def entries(self) -> int:
+        return len(self._entries)
+
+    def get(self, key, default=None):
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        old = self._entries.get(key)
+        if old is not None:
+            self.bytes -= _fragments_nbytes(old)
+        self._entries[key] = value
+        self.bytes += _fragments_nbytes(value)
+
+    def __getitem__(self, key):
+        return self._entries[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Entry/byte/hit/miss counters as a plain dict."""
+        return {"entries": len(self._entries), "bytes": self.bytes,
+                "hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return (f"RouteCache({len(self._entries)} entries, "
+                f"{self.bytes} bytes, {self.hits} hits, "
+                f"{self.misses} misses)")
+
 
 class PipelineContext:
     """Shared interners, adjacency index and memoised propagation."""
@@ -68,8 +154,9 @@ class PipelineContext:
         self.communities: Interner = Interner()
         self._propagator: Optional[FrontierPropagator] = None
         self._plan = None
-        #: (origin, origin bag, record signature) -> recorded fragments.
-        self._route_cache: Dict[Tuple, Tuple] = {}
+        #: (origin, origin bag, record signature) -> recorded fragments,
+        #: with entry/byte/hit/miss accounting.
+        self._route_cache = RouteCache()
         self._member_indices: Dict[Hashable, Tuple[frozenset, BitsetIndex]] = {}
         #: bitset-backend observation planes: (PlaneCacheKey, planes)
         #: pairs, newest last (see repro.core.planes.PlaneCacheKey).
@@ -133,8 +220,9 @@ class PipelineContext:
         )
 
     @property
-    def route_cache(self) -> Dict[Tuple, Tuple]:
-        """Memoised per-origin recorded route fragments."""
+    def route_cache(self) -> RouteCache:
+        """Memoised per-origin recorded route fragments (with
+        entry/byte accounting, see :class:`RouteCache`)."""
         return self._route_cache
 
     def clear_propagation_cache(self) -> None:
@@ -207,6 +295,9 @@ class PipelineContext:
             "interned_prefixes": len(self.prefixes),
             "interned_communities": len(self.communities),
             "memoized_origins": len(self._route_cache),
+            "route_cache_bytes": self._route_cache.bytes,
+            "route_cache_hits": self._route_cache.hits,
+            "route_cache_misses": self._route_cache.misses,
             "member_indices": len(self._member_indices),
             "inference_plane_entries": len(self._inference_planes),
             "reachability_matrices": len(self._reachability_matrices),

@@ -1,0 +1,402 @@
+"""Columnar route fragments: batches of propagated routes as arrays.
+
+The propagation kernels already finish with fully interned per-node
+state (route-key planes, path ids, bag ids).  Converting that state to
+one ``PropagatedRoute`` object per recorded route — a Python loop with a
+``PathStore.materialize`` call per row — was the dominant end-to-end
+cost once the sweep itself went vectorized.  This module keeps the
+fragments columnar instead:
+
+* :class:`RouteBlock` — one origin's recorded routes as parallel numpy
+  columns (``asn``, ``provenance``, ``learned_from``, ``bag_id``,
+  ``pid``) plus a CSR-style ``(path_offsets, path_values)`` pair, with a
+  block-local ``bag_values`` tuple so blocks are self-contained across
+  process boundaries (store-level bag ids are not stable under
+  re-interning).  A block behaves as a sequence of
+  ``PropagatedRoute``s — rows are materialised lazily and cached — so
+  every object-level consumer keeps working, while bulk consumers read
+  the columns directly.
+* :func:`walk_paths` / :class:`PathTable` — ONE vectorized cons-chain
+  walk over all path ids of a batch, replacing the per-route scalar
+  ``materialize`` calls.  ``PathTable.gather`` then slices per-row CSR
+  views out of the walked table with a single ragged gather.
+
+Like the rest of ``runtime``, numpy is optional: the module imports
+without it, and the engine falls back to eager object fragments when
+``fragments_available()`` is false.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+try:  # optional dependency, mirrors runtime/batched.py
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via fragments_available
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "RouteBlock",
+    "PathTable",
+    "walk_paths",
+    "intern_bags",
+    "block_from_columns",
+    "fragments_available",
+]
+
+#: Lazily resolved to avoid a module-level cycle: ``bgp.propagation``
+#: imports this module, and only row materialisation needs the class.
+_ROUTE_CLS = None
+
+
+def fragments_available() -> bool:
+    """True when the columnar fragment plane can be used (numpy present)."""
+    return np is not None
+
+
+def _require_numpy() -> None:
+    if np is None:  # pragma: no cover - numpy is present in CI
+        raise RuntimeError(
+            "columnar route fragments require numpy; "
+            "use the object fragment path instead")
+
+
+def _route_class():
+    global _ROUTE_CLS
+    if _ROUTE_CLS is None:
+        from repro.bgp.propagation import PropagatedRoute
+        _ROUTE_CLS = PropagatedRoute
+    return _ROUTE_CLS
+
+
+def walk_paths(heads, parents, pids):
+    """Materialise cons chains *pids* into one CSR ``(offsets, values)``.
+
+    This is the vectorized replacement for N scalar ``materialize``
+    calls: two level-synchronous passes over the whole id set (first
+    measuring chain lengths, then writing heads), each iterating only
+    ``max path length`` times with numpy doing the per-chain work.
+    """
+    _require_numpy()
+    heads = np.asarray(heads, dtype=np.int64)
+    parents = np.asarray(parents, dtype=np.int64)
+    pids = np.asarray(pids, dtype=np.int64)
+    count = len(pids)
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    if count == 0:
+        return offsets, np.empty(0, dtype=np.int64)
+    lengths = np.zeros(count, dtype=np.int64)
+    cursor = pids.copy()
+    alive = np.nonzero(cursor >= 0)[0]
+    while len(alive):
+        lengths[alive] += 1
+        cursor[alive] = parents[cursor[alive]]
+        alive = alive[cursor[alive] >= 0]
+    np.cumsum(lengths, out=offsets[1:])
+    values = np.empty(int(offsets[-1]), dtype=np.int64)
+    cursor = pids.copy()
+    position = offsets[:-1].copy()
+    alive = np.nonzero(cursor >= 0)[0]
+    while len(alive):
+        values[position[alive]] = heads[cursor[alive]]
+        position[alive] += 1
+        cursor[alive] = parents[cursor[alive]]
+        alive = alive[cursor[alive] >= 0]
+    return offsets, values
+
+
+class PathTable:
+    """All paths of one batch, walked once and gathered per block.
+
+    Built from a path store's ``(heads, parents)`` columns and the union
+    of every pid a batch will record (negative ids — "no path" — are
+    dropped and gather as empty rows).
+    """
+
+    __slots__ = ("_pids", "_offsets", "_values", "_lengths")
+
+    def __init__(self, heads, parents, pids) -> None:
+        _require_numpy()
+        pids = np.unique(np.asarray(pids, dtype=np.int64))
+        if len(pids) and pids[0] < 0:
+            pids = pids[pids >= 0]
+        self._pids = pids
+        self._offsets, self._values = walk_paths(heads, parents, pids)
+        self._lengths = np.diff(self._offsets)
+
+    def gather(self, pids):
+        """CSR ``(offsets, values)`` for *pids*, one ragged gather.
+
+        Every non-negative pid must be in the table; negative pids
+        yield empty paths (origin rows have no received path).
+        """
+        pids = np.asarray(pids, dtype=np.int64)
+        count = len(pids)
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        if count == 0 or len(self._pids) == 0:
+            return offsets, np.empty(0, dtype=np.int64)
+        valid = pids >= 0
+        index = np.searchsorted(self._pids, pids)
+        index[~valid] = 0
+        lengths = np.where(valid, self._lengths[index], 0)
+        np.cumsum(lengths, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return offsets, np.empty(0, dtype=np.int64)
+        starts = self._offsets[index]
+        shift = np.repeat(starts - offsets[:-1], lengths)
+        values = self._values[shift + np.arange(total, dtype=np.int64)]
+        return offsets, values
+
+
+def intern_bags(bag_ids, bag_value):
+    """Map store-level *bag_ids* to block-local ids + a value table.
+
+    Each distinct store id resolves ``bag_value`` once; the returned
+    table makes the block independent of the store (and picklable
+    without dragging the context along).
+    """
+    _require_numpy()
+    bag_ids = np.asarray(bag_ids, dtype=np.int64)
+    if len(bag_ids) == 0:
+        return np.empty(0, dtype=np.int32), ()
+    unique, inverse = np.unique(bag_ids, return_inverse=True)
+    values = tuple(bag_value(int(bid)) for bid in unique.tolist())
+    return inverse.astype(np.int32, copy=False), values
+
+
+class RouteBlock:
+    """One origin's recorded routes as parallel columns.
+
+    Column schema (all rows parallel):
+
+    ``asn``           int64 — observer ASN of the route
+    ``provenance``    int16 — CLASS_* the route was accepted as
+    ``learned_from``  int64 — exporter ASN, ``-1`` for locally originated
+    ``bag_id``        int32 — index into :attr:`bag_values` (block-local)
+    ``pid``           int64 — batch-local path id (``-1`` when unknown,
+                      e.g. blocks rebuilt from route objects)
+    ``path_offsets``  int64, ``len+1`` — CSR row offsets into
+    ``path_values``   int64 — concatenated AS paths (observer-first)
+
+    The block is also a ``Sequence[PropagatedRoute]``: indexing
+    materialises (and caches) one lazy row view, so call sites written
+    against object fragments keep working unchanged.  Pickling ships
+    only the arrays + bag values — caches never cross process
+    boundaries.
+    """
+
+    __slots__ = ("asn", "provenance", "learned_from", "bag_id", "pid",
+                 "path_offsets", "path_values", "bag_values",
+                 "_rows", "_scalars")
+
+    def __init__(self, asn, provenance, learned_from, bag_id, pid,
+                 path_offsets, path_values,
+                 bag_values: Tuple[frozenset, ...]) -> None:
+        self.asn = asn
+        self.provenance = provenance
+        self.learned_from = learned_from
+        self.bag_id = bag_id
+        self.pid = pid
+        self.path_offsets = path_offsets
+        self.path_values = path_values
+        self.bag_values = bag_values
+        self._rows: List[object] = None  # type: ignore[assignment]
+        self._scalars = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RouteBlock":
+        """A zero-row block."""
+        _require_numpy()
+        return cls(
+            asn=np.empty(0, dtype=np.int64),
+            provenance=np.empty(0, dtype=np.int16),
+            learned_from=np.empty(0, dtype=np.int64),
+            bag_id=np.empty(0, dtype=np.int32),
+            pid=np.empty(0, dtype=np.int64),
+            path_offsets=np.zeros(1, dtype=np.int64),
+            path_values=np.empty(0, dtype=np.int64),
+            bag_values=(),
+        )
+
+    @classmethod
+    def from_routes(cls, routes: Iterable[object]) -> "RouteBlock":
+        """Columnar form of existing route objects.
+
+        The originals are kept as the block's row views, so identity
+        (and any interned path/bag sharing they carry) is preserved.
+        """
+        _require_numpy()
+        routes = list(routes)
+        count = len(routes)
+        bag_index: dict = {}
+        bag_values: List[frozenset] = []
+        bag_ids = np.empty(count, dtype=np.int32)
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        for i, route in enumerate(routes):
+            bid = bag_index.get(route.communities)
+            if bid is None:
+                bid = bag_index[route.communities] = len(bag_values)
+                bag_values.append(route.communities)
+            bag_ids[i] = bid
+            offsets[i + 1] = offsets[i] + len(route.path)
+        values = np.fromiter(
+            (asn for route in routes for asn in route.path),
+            dtype=np.int64, count=int(offsets[-1]))
+        block = cls(
+            asn=np.fromiter((r.asn for r in routes), np.int64, count=count),
+            provenance=np.fromiter(
+                (r.provenance for r in routes), np.int16, count=count),
+            learned_from=np.fromiter(
+                (-1 if r.learned_from is None else r.learned_from
+                 for r in routes), np.int64, count=count),
+            bag_id=bag_ids,
+            pid=np.full(count, -1, dtype=np.int64),
+            path_offsets=offsets,
+            path_values=values,
+            bag_values=tuple(bag_values),
+        )
+        block._rows = routes
+        return block
+
+    # -- columnar accessors ------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Array footprint of the block (excludes bag values and caches)."""
+        return int(self.asn.nbytes + self.provenance.nbytes
+                   + self.learned_from.nbytes + self.bag_id.nbytes
+                   + self.pid.nbytes + self.path_offsets.nbytes
+                   + self.path_values.nbytes)
+
+    def _scalar_columns(self):
+        """Python-int copies of the columns (built once, cached)."""
+        columns = self._scalars
+        if columns is None:
+            columns = self._scalars = (
+                self.asn.tolist(), self.provenance.tolist(),
+                self.learned_from.tolist(), self.bag_id.tolist(),
+                self.path_offsets.tolist(), self.path_values.tolist())
+        return columns
+
+    def asn_list(self) -> List[int]:
+        """Observer ASNs as a cached python list (row-scan fast path)."""
+        return self._scalar_columns()[0]
+
+    def path(self, row: int) -> Tuple[int, ...]:
+        """The AS path of *row* as a tuple, without building the route."""
+        _, _, _, _, offsets, values = self._scalar_columns()
+        return tuple(values[offsets[row]:offsets[row + 1]])
+
+    def communities_at(self, row: int) -> frozenset:
+        """The (shared) community frozenset of *row*."""
+        return self.bag_values[self._scalar_columns()[3][row]]
+
+    def provenance_at(self, row: int) -> int:
+        """The CLASS_* provenance of *row* as a python int."""
+        return self._scalar_columns()[1][row]
+
+    def link_pairs(self):
+        """Undirected ``(lo, hi)`` ASN pair arrays adjacent in any path.
+
+        Pairs spanning row boundaries are masked out via the CSR
+        offsets; ``left == right`` (prepended-origin) pairs are dropped
+        to match the object-path ``visible_links`` semantics.  Pairs are
+        not deduplicated — callers union across blocks anyway.
+        """
+        values = self.path_values
+        if len(values) < 2:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        left = values[:-1]
+        right = values[1:]
+        valid = left != right
+        boundaries = self.path_offsets[1:-1] - 1
+        if len(boundaries):
+            valid[boundaries[boundaries >= 0]] = False
+        lo = np.minimum(left, right)[valid]
+        hi = np.maximum(left, right)[valid]
+        return lo, hi
+
+    # -- sequence protocol (lazy row views) --------------------------------
+
+    def route(self, row: int):
+        """The :class:`PropagatedRoute` view of *row* (built once)."""
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = [None] * len(self.asn)
+        route = rows[row]
+        if route is None:
+            asns, provs, learned, bags, offsets, values = self._scalar_columns()
+            exporter = learned[row]
+            route = rows[row] = _route_class()(
+                asn=asns[row],
+                path=tuple(values[offsets[row]:offsets[row + 1]]),
+                communities=self.bag_values[bags[row]],
+                provenance=provs[row],
+                learned_from=exporter if exporter >= 0 else None,
+            )
+        return route
+
+    def __len__(self) -> int:
+        return len(self.asn)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.route(row)
+                    for row in range(*index.indices(len(self.asn)))]
+        count = len(self.asn)
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            raise IndexError(index)
+        return self.route(index)
+
+    def __iter__(self) -> Iterator[object]:
+        for row in range(len(self.asn)):
+            yield self.route(row)
+
+    def __repr__(self) -> str:
+        return (f"RouteBlock({len(self.asn)} routes, "
+                f"{len(self.path_values)} path cells, "
+                f"{len(self.bag_values)} bags)")
+
+    # -- pickling (cache-free: blocks cross shard worker boundaries) -------
+
+    def __getstate__(self):
+        return (self.asn, self.provenance, self.learned_from, self.bag_id,
+                self.pid, self.path_offsets, self.path_values,
+                self.bag_values)
+
+    def __setstate__(self, state) -> None:
+        (self.asn, self.provenance, self.learned_from, self.bag_id,
+         self.pid, self.path_offsets, self.path_values,
+         self.bag_values) = state
+        self._rows = None
+        self._scalars = None
+
+
+def block_from_columns(asns, provenance, learned_from, pids, bag_ids,
+                       bag_value, path_table: PathTable) -> RouteBlock:
+    """Assemble a :class:`RouteBlock` from store-level parallel columns.
+
+    *bag_ids* are store-level ids resolved through *bag_value* into a
+    block-local table; paths come out of *path_table* (walked once per
+    batch).  All columns must already be recorded-observer filtered.
+    """
+    _require_numpy()
+    pids = np.asarray(pids, dtype=np.int64)
+    local_bags, bag_values = intern_bags(bag_ids, bag_value)
+    offsets, values = path_table.gather(pids)
+    return RouteBlock(
+        asn=np.asarray(asns, dtype=np.int64),
+        provenance=np.asarray(provenance).astype(np.int16, copy=False),
+        learned_from=np.asarray(learned_from, dtype=np.int64),
+        bag_id=local_bags,
+        pid=pids,
+        path_offsets=offsets,
+        path_values=values,
+        bag_values=bag_values,
+    )

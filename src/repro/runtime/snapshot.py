@@ -12,6 +12,14 @@ same node ids, same bag ids, same deterministic propagation.
 Transient state (path store cells, memoised routes, member bitset
 indices) is deliberately *not* captured: it is derived data that each
 worker recomputes for the origins it is assigned.
+
+The return trip is columnar: workers ship their recorded fragments back
+as :class:`~repro.runtime.fragments.RouteBlock`s, whose pickled form is
+a handful of numpy arrays plus a block-local community-bag table.  The
+bag table matters for correctness, not just size — bag *ids* are
+assigned in interning order, which differs between parent and worker
+(each worker interns only the bags its origins touch), so blocks never
+carry store-level bag ids across the process boundary.
 """
 
 from __future__ import annotations

@@ -67,6 +67,16 @@ class PathStore:
             memo[cell] = suffix
         return suffix
 
+    def columns(self) -> Tuple[List[int], List[int]]:
+        """The live ``(heads, parents)`` cell columns.
+
+        Feed for the vectorized chain walk
+        (:func:`repro.runtime.fragments.walk_paths`), which replaces
+        per-route :meth:`materialize` calls when building columnar
+        route blocks.
+        """
+        return self._heads, self._parents
+
     def clear(self) -> None:
         """Drop all cells (called between origins)."""
         self._heads.clear()

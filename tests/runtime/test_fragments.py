@@ -1,0 +1,278 @@
+"""Columnar fragment plane: RouteBlock vs object fragments, exactly.
+
+The columnar plane must be invisible to consumers: RouteBlock-backed
+fragments iterate into the same routes, in the same order, with the same
+provenance/communities/learned_from as the eager object path, across all
+three production backends — and blocks must survive pickling (the shard
+worker boundary) bit-identically.  The object oracle is the frontier
+engine with the columnar plane forced off, i.e. the exact pre-columnar
+materialisation code path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+import repro.bgp.propagation as propagation_module
+from repro.bgp.propagation import OriginSpec, RouteBlock
+from repro.runtime.context import PipelineContext
+from repro.runtime.fragments import (
+    PathTable,
+    fragments_available,
+    walk_paths,
+)
+from repro.runtime.stores import PathStore
+
+from tests.runtime.test_batched import (
+    fragment_key,
+    random_internet,
+    random_origins,
+)
+
+requires_numpy = pytest.mark.skipif(
+    not fragments_available(), reason="columnar fragments require numpy")
+
+BLOCK_BACKENDS = ("frontier", "batched", "compiled")
+
+
+def object_fragments(adjacencies, origins, monkeypatch, **kwargs):
+    """Fragments from a frontier engine with the columnar plane forced
+    off — the pre-columnar per-route materialisation path, used as the
+    oracle.  The patch is undone before returning so the engines under
+    test keep the plane on."""
+    monkeypatch.setattr(propagation_module, "fragments_available",
+                        lambda: False)
+    try:
+        engine = PipelineContext.from_adjacencies(adjacencies).engine(**kwargs)
+        return engine.batch_fragments(origins)
+    finally:
+        monkeypatch.undo()
+
+
+def object_result(adjacencies, origins, monkeypatch, **kwargs):
+    """Like :func:`object_fragments` but a full eagerly recorded
+    :class:`PropagationResult`."""
+    monkeypatch.setattr(propagation_module, "fragments_available",
+                        lambda: False)
+    try:
+        engine = PipelineContext.from_adjacencies(adjacencies).engine(**kwargs)
+        return engine.propagate(origins)
+    finally:
+        monkeypatch.undo()
+
+
+# -- vectorized chain walk -----------------------------------------------------
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed", [3, 11, 20131209])
+def test_walk_paths_matches_scalar_materialize(seed):
+    np = pytest.importorskip("numpy")
+    rng = random.Random(seed)
+    store = PathStore()
+    pids = []
+    for _ in range(200):
+        parent = rng.choice(pids) if pids and rng.random() < 0.7 else -1
+        pids.append(store.cons(rng.randrange(64500, 64700), parent))
+    sample = rng.sample(pids, k=50)
+    heads, parents = store.columns()
+    offsets, values = walk_paths(heads, parents, np.asarray(sample))
+    for row, pid in enumerate(sample):
+        expected = store.materialize(pid)
+        assert tuple(values[offsets[row]:offsets[row + 1]]) == expected
+
+
+@requires_numpy
+def test_path_table_gather_handles_repeats_and_missing():
+    np = pytest.importorskip("numpy")
+    store = PathStore()
+    a = store.cons(64500)
+    b = store.cons(64501, a)
+    c = store.cons(64502, b)
+    heads, parents = store.columns()
+    table = PathTable(heads, parents, np.asarray([a, b, c]))
+    offsets, values = table.gather(np.asarray([c, -1, a, c]))
+    assert offsets.tolist() == [0, 3, 3, 4, 7]
+    assert values.tolist() == [64502, 64501, 64500, 64500,
+                               64502, 64501, 64500]
+
+
+# -- block/object differential across backends ---------------------------------
+
+
+@requires_numpy
+@pytest.mark.parametrize("backend", BLOCK_BACKENDS)
+@pytest.mark.parametrize("seed", [5, 77, 20130507, 424242])
+def test_blocks_bit_identical_to_object_fragments(seed, backend, monkeypatch):
+    """RouteBlock-backed fragments iterate into exactly the routes the
+    eager object path produced: content, provenance and order, for best
+    fragments and Adj-RIB-In offers alike."""
+    rng = random.Random(seed)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    observers = rng.sample(asns, k=12)
+    alt = observers[:5]
+
+    expected_fragments = object_fragments(
+        adjacencies, origins, monkeypatch,
+        record_at=observers, record_alternatives_at=alt)
+    columnar = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=observers, record_alternatives_at=alt, backend=backend)
+    for spec, got, expected in zip(origins,
+                                   columnar.batch_fragments(origins),
+                                   expected_fragments):
+        assert isinstance(got[0], RouteBlock), (backend, spec.asn)
+        assert isinstance(got[1], RouteBlock), (backend, spec.asn)
+        assert fragment_key(got[0]) == fragment_key(expected[0]), \
+            (seed, backend, spec.asn, "best")
+        assert fragment_key(got[1]) == fragment_key(expected[1]), \
+            (seed, backend, spec.asn, "offered")
+
+
+@requires_numpy
+@pytest.mark.parametrize("backend", BLOCK_BACKENDS)
+def test_result_api_matches_object_path(backend, monkeypatch):
+    """The lazily indexed result answers observers/routes/links exactly
+    like the eagerly recorded one, including dict orders."""
+    rng = random.Random(1234)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    observers = rng.sample(asns, k=10)
+
+    expected = object_result(adjacencies, origins, monkeypatch,
+                             record_at=observers)
+    columnar = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=observers, backend=backend).propagate(origins)
+    # Columnar fast path first, before any object-level access indexes
+    # the result.
+    assert columnar.visible_links() == expected.visible_links()
+    assert columnar.observers() == expected.observers()
+    for observer in observers:
+        assert fragment_key(
+            route for _origin, route in columnar.iter_routes_at(observer)
+        ) == fragment_key(
+            route for _origin, route in expected.iter_routes_at(observer))
+        assert [origin for origin, _route in columnar.iter_routes_at(observer)] \
+            == [origin for origin, _route in expected.iter_routes_at(observer)]
+
+
+@requires_numpy
+def test_iter_best_columns_matches_iter_routes():
+    rng = random.Random(99)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    observers = rng.sample(asns, k=8)
+    result = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=observers, backend="batched").propagate(origins)
+    for observer in observers:
+        triples = result.iter_best_columns_at(observer)
+        assert triples is not None
+        columnar = [(origin, block.asn_list()[row], block.path(row),
+                     block.communities_at(row), block.provenance_at(row))
+                    for origin, block, row in triples]
+        objects = [(origin, route.asn, route.path, route.communities,
+                    route.provenance)
+                   for origin, route in result.iter_routes_at(observer)]
+        assert columnar == objects
+
+
+# -- lazy-view contract --------------------------------------------------------
+
+
+@requires_numpy
+def test_lazy_row_views_are_cached_and_sliceable():
+    rng = random.Random(7)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns, count=3)
+    engine = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=asns[:6], backend="frontier")
+    best, offered = engine.batch_fragments(origins)[0]
+    assert len(best) == len(best.asn)
+    if len(best):
+        assert best[0] is best[0]          # row views are built once
+        assert best[-1].asn == best.asn_list()[-1]
+        assert best[:2] == [best[row] for row in range(min(2, len(best)))]
+        assert [r.asn for r in best] == best.asn_list()
+    with pytest.raises(IndexError):
+        best[len(best)]
+    assert isinstance(offered, RouteBlock)
+
+
+@requires_numpy
+def test_isolated_origin_is_a_block():
+    rng = random.Random(13)
+    asns, adjacencies = random_internet(rng)
+    lonely = 65333  # not part of the topology
+    engine = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=[lonely])
+    best, offered = engine.batch_fragments(
+        [OriginSpec(asn=lonely, prefixes=[])])[0]
+    assert isinstance(best, RouteBlock) and isinstance(offered, RouteBlock)
+    assert fragment_key(best) == [
+        (lonely, (lonely,), frozenset(), 0, None)]
+    assert len(offered) == 0
+
+
+# -- pickling (the shard worker boundary) --------------------------------------
+
+
+@requires_numpy
+@pytest.mark.parametrize("backend", BLOCK_BACKENDS)
+def test_block_pickle_round_trip(backend):
+    """Blocks cross process boundaries as arrays; the restored block
+    must yield bit-identical routes without any store attached."""
+    rng = random.Random(20131209)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    observers = rng.sample(asns, k=12)
+    engine = PipelineContext.from_adjacencies(adjacencies).engine(
+        record_at=observers, record_alternatives_at=observers[:4],
+        backend=backend)
+    for spec, (best, offered) in zip(origins, engine.batch_fragments(origins)):
+        for block in (best, offered):
+            clone = pickle.loads(pickle.dumps(block))
+            assert isinstance(clone, RouteBlock)
+            assert fragment_key(clone) == fragment_key(block), \
+                (backend, spec.asn)
+            assert clone.path_offsets.tolist() == block.path_offsets.tolist()
+            assert clone.bag_values == block.bag_values
+
+
+# -- route-cache accounting ----------------------------------------------------
+
+
+@requires_numpy
+def test_route_cache_hits_skip_recompute():
+    """Repeated batch_fragments over the same origins is pure cache:
+    hit counters move, miss counters and entries do not, and the very
+    same block objects come back (no rebuild)."""
+    rng = random.Random(31337)
+    asns, adjacencies = random_internet(rng)
+    origins = random_origins(rng, asns)
+    context = PipelineContext.from_adjacencies(adjacencies)
+    engine = context.engine(record_at=asns[:10], backend="batched")
+    cache = context.route_cache
+
+    first = engine.batch_fragments(origins)
+    entries_after_first = len(cache)
+    misses_after_first = cache.misses
+    assert entries_after_first == len(origins)
+    assert cache.bytes > 0
+
+    second = engine.batch_fragments(origins)
+    assert cache.misses == misses_after_first        # nothing recomputed
+    assert cache.hits >= len(origins)
+    assert len(cache) == entries_after_first
+    for (best1, off1), (best2, off2) in zip(first, second):
+        assert best1 is best2 and off1 is off2
+
+    stats = context.stats()
+    assert stats["route_cache_bytes"] == cache.bytes
+    assert stats["route_cache_hits"] == cache.hits
+    assert stats["route_cache_misses"] == cache.misses
+
+    context.clear_propagation_cache()
+    assert len(cache) == 0 and cache.bytes == 0
