@@ -502,6 +502,98 @@ def run_inference_matrix(size: str = "tiny",
     return rows
 
 
+def run_delta_matrix(size: str = "bench") -> list[dict]:
+    """Time delta-apply vs full rebuild per event family and backend.
+
+    For every registered event family the baseline scenario is built at
+    *size*, its timeline replayed through
+    :class:`~repro.scenarios.events.TimelineReplay` (per-event wall
+    seconds include the affected-set computation, any index rebuild and
+    the frontier-limited recompute), and the final patched result
+    checked link-for-link against one from-scratch rebuild of the final
+    state — ``run_all`` exits non-zero on any mismatch.  Each row
+    records the full-rebuild seconds, the median delta-apply seconds
+    (overall and over single-edge events, the acceptance target) and
+    the mean affected-origin fraction, so the incremental path's win —
+    and its honest degradation on wide-frontier events — is trackable
+    across PRs.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from statistics import median
+    from repro.pipeline import ArtifactCache, ScenarioRun
+    from repro.runtime.batched import numpy_available
+    from repro.scenarios.events import (TimelineReplay, build_timeline,
+                                        event_family_names,
+                                        rebuild_propagation, record_sets)
+    from repro.scenarios.spec import get_scenario
+
+    if not numpy_available():
+        print("[run_all] delta matrix skipped (numpy unavailable)")
+        return []
+
+    rows: list[dict] = []
+    for family in event_family_names():
+        name = f"europe2013-{family}"
+        spec = get_scenario(name)
+        run = ScenarioRun(spec.config(size), scenario=name,
+                          cache=ArtifactCache())
+        propagation = run.artifact("propagation")
+        scenario = run.scenario()
+        record_at, record_alt = record_sets(propagation)
+        events = build_timeline(spec.timeline, scenario.graph,
+                                scenario.route_servers)
+        for backend in MATRIX_BACKENDS:
+            replay = TimelineReplay(
+                scenario.graph, scenario.route_servers,
+                propagation["propagation"], record_at, record_alt,
+                backend=backend)
+            report = replay.replay(events)
+            delta_seconds = [r.seconds for r in report.reports]
+            single_edge = [r.seconds for r in report.reports
+                           if r.links_changed == 1]
+            fractions = [r.affected_fraction for r in report.reports]
+            started = time.monotonic()
+            _, full = rebuild_propagation(
+                replay.graph, replay.route_servers, record_at, record_alt,
+                backend=backend)
+            rebuild_seconds = time.monotonic() - started
+            links_equal = \
+                report.result.visible_links() == full.visible_links()
+            row = {
+                "family": family,
+                "backend": backend,
+                "size": size,
+                "events": len(events),
+                "origins": report.reports[-1].total if report.reports else 0,
+                "rebuild_seconds": round(rebuild_seconds, 4),
+                "delta_total_seconds": round(sum(delta_seconds), 4),
+                "delta_median_seconds": round(median(delta_seconds), 4)
+                if delta_seconds else None,
+                "single_edge_events": len(single_edge),
+                "single_edge_median_seconds": round(median(single_edge), 4)
+                if single_edge else None,
+                "median_speedup": round(
+                    rebuild_seconds / max(median(delta_seconds), 1e-9), 2)
+                if delta_seconds else None,
+                "single_edge_speedup": round(
+                    rebuild_seconds / max(median(single_edge), 1e-9), 2)
+                if single_edge else None,
+                "mean_affected_fraction": round(
+                    sum(fractions) / len(fractions), 4) if fractions else 0.0,
+                "links_equal": links_equal,
+            }
+            print(f"[run_all] delta {family} ({size}, {backend}): "
+                  f"rebuild {row['rebuild_seconds']}s, delta median "
+                  f"{row['delta_median_seconds']}s "
+                  f"({row['median_speedup']}x; single-edge "
+                  f"{row['single_edge_speedup']}x over "
+                  f"{row['single_edge_events']} events), affected "
+                  f"{row['mean_affected_fraction']:.1%}, "
+                  f"links_equal={links_equal}", flush=True)
+            rows.append(row)
+    return rows
+
+
 def find_previous_trajectory(exclude: Path) -> Path | None:
     """The most recent prior ``BENCH_<ISO date>.json`` (by dated name).
 
@@ -576,8 +668,13 @@ def main() -> int:
                              "(frontier vs batched vs compiled)")
     parser.add_argument("--skip-inference-matrix", action="store_true",
                         help="do not run the object-vs-bitset inference matrix")
+    parser.add_argument("--skip-delta-matrix", action="store_true",
+                        help="do not run the event-delta vs full-rebuild "
+                             "matrix")
     parser.add_argument("--matrix-size", default="tiny",
                         help="size-table row for the scenario matrix")
+    parser.add_argument("--delta-size", default="bench",
+                        help="size-table row for the delta matrix")
     args = parser.parse_args()
 
     benches = discover_benches(args.filters)
@@ -606,6 +703,10 @@ def main() -> int:
     if not args.skip_inference_matrix:
         inference_rows = run_inference_matrix(args.matrix_size)
 
+    delta_rows: list[dict] = []
+    if not args.skip_delta_matrix:
+        delta_rows = run_delta_matrix(args.delta_size)
+
     today = datetime.date.today().isoformat()
     out_path = args.out or (REPO_ROOT / f"BENCH_{today}.json")
     previous_path = find_previous_trajectory(exclude=out_path)
@@ -617,6 +718,7 @@ def main() -> int:
         "scenarios": scenario_rows,
         "backend_matrix": backend_rows,
         "inference_matrix": inference_rows,
+        "delta_matrix": delta_rows,
     }
     out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"[run_all] wrote {out_path}")
@@ -634,6 +736,8 @@ def main() -> int:
     if any(not row["links_equal"] for row in backend_rows):
         return 1
     if any(not row["results_identical"] for row in inference_rows):
+        return 1
+    if any(not row["links_equal"] for row in delta_rows):
         return 1
     return 3 if warnings else 0
 

@@ -6,10 +6,13 @@ passive + active inference and prints the Table 2 rows, the visibility
 headline numbers (figure 6) and the validation summary (Table 3).
 
 Run with:  python examples/survey.py [--scenario NAME] [--size SIZE]
+           python examples/survey.py --events churn
            python examples/survey.py --list
 
 Any family registered in the scenario registry works; `--list` shows
-what is available.
+what is available.  `--events FAMILY` replays an event timeline (churn,
+failover, flap-storm) on top of the scenario via incremental delta
+recompute and prints the per-event affected-set statistics.
 """
 
 import argparse
@@ -20,15 +23,47 @@ from repro.scenarios import get_scenario, scenario_names
 from repro.scenarios.workloads import scenario_run
 
 
+def print_timeline(run) -> None:
+    """Replay the run's event timeline and print per-event stats."""
+    spec = run.spec
+    print(f"\nreplaying the {spec.timeline.family!r} timeline "
+          f"({spec.timeline.length} events, delta recompute) ...")
+    report = run.timeline()
+    print(f"  {'#':>2} {'event':<12} {'affected':>8} {'recomp':>6} "
+          f"{'reused':>6} {'frac':>7} {'links':>5} {'ms':>8}")
+    for index, row in enumerate(report.rows()):
+        print(f"  {index:>2} {row['event']:<12} {row['affected']:>8} "
+              f"{row['recomputed']:>6} {row['reused']:>6} "
+              f"{row['affected_fraction']:>7.2%} {row['links_changed']:>5} "
+              f"{row['seconds'] * 1e3:>8.1f}")
+    total = sum(row["affected"] for row in report.rows())
+    origins = report.reports[-1].total if report.reports else 0
+    print(f"  {len(report.events)} events, {total} origin recomputes "
+          f"over {origins} origins")
+
+
 def run_survey(scenario_name: str, size: str, workers=None,
-               backend=None, inference_backend=None) -> None:
+               backend=None, inference_backend=None, events=None) -> None:
     """Build one scenario, run inference, print the survey tables."""
     spec = get_scenario(scenario_name)
+    if events is not None:
+        from repro.scenarios.events import TimelineSpec
+        spec = spec.with_overrides(
+            name=f"{spec.name}+{events}",
+            timeline=TimelineSpec(family=events, length=8,
+                                  seed=spec.base_seed))
     print(f"building the {spec.name} scenario ({size}) ...")
     if spec.description:
         print(f"  {spec.description}")
-    run = scenario_run(size, scenario=scenario_name, workers=workers,
-                       backend=backend, inference_backend=inference_backend)
+    if events is not None:
+        from repro.pipeline.run import ScenarioRun
+        run = ScenarioRun(spec.config(size), scenario=spec, workers=workers,
+                          backend=backend,
+                          inference_backend=inference_backend)
+    else:
+        run = scenario_run(size, scenario=scenario_name, workers=workers,
+                           backend=backend,
+                           inference_backend=inference_backend)
     scenario = run.scenario()
     print(f"  {len(scenario.graph)} ASes, "
           f"{len(scenario.ground_truth_links())} ground-truth MLP pairs")
@@ -68,6 +103,9 @@ def run_survey(scenario_name: str, size: str, workers=None,
     print(f"  tested {report.num_tested} links, confirmed "
           f"{report.num_confirmed} ({report.confirmation_rate:.1%}; paper: 98.4%)")
 
+    if run.spec.timeline is not None:
+        print_timeline(run)
+
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -86,6 +124,10 @@ def main(argv=None) -> None:
                         choices=["object", "bitset"],
                         help="MLP inference data plane (default: object; "
                              "bitset is the vectorized reachability plane)")
+    parser.add_argument("--events", default=None, metavar="FAMILY",
+                        help="replay an event-timeline family (churn, "
+                             "failover, flap-storm) over the scenario and "
+                             "print per-event delta-recompute stats")
     parser.add_argument("--list", action="store_true",
                         help="list the registered scenarios and exit")
     args = parser.parse_args(argv)
@@ -100,7 +142,8 @@ def main(argv=None) -> None:
 
     run_survey(args.scenario, args.size, workers=args.workers,
                backend=args.backend,
-               inference_backend=args.inference_backend)
+               inference_backend=args.inference_backend,
+               events=args.events)
 
 
 if __name__ == "__main__":

@@ -208,6 +208,14 @@ class PropagationResult:
         #: every block-backed recording, kept after indexing so the
         #: columnar fast paths survive object-level access.
         self._block_records: List[Tuple[int, RouteBlock, RouteBlock]] = []
+        #: origin -> (best, offered) exactly as recorded, kept for the
+        #: delta-propagation plane (unaffected fragments are reused
+        #: byte-for-byte when an event timeline patches a result).
+        self._fragment_records: Dict[int, Tuple[Sequence, Sequence]] = {}
+        #: False once routes were recorded outside the fragment
+        #: protocol (``_record_best``/``_record_alternative``) — such
+        #: results cannot serve as a delta-patching baseline.
+        self._fragments_complete = True
         #: True while every recorded fragment is a RouteBlock (the
         #: precondition for the columnar fast paths).
         self._columnar = True
@@ -223,6 +231,7 @@ class PropagationResult:
         is deferred to the first object-level read.
         """
         self._pending.append((origin, best, offered))
+        self._fragment_records[origin] = (best, offered)
         if isinstance(best, RouteBlock) and isinstance(offered, RouteBlock):
             self._block_records.append((origin, best, offered))
         else:
@@ -231,11 +240,13 @@ class PropagationResult:
     def _record_best(self, origin: int, route: PropagatedRoute) -> None:
         self._ensure_indexed()
         self._columnar = False
+        self._fragments_complete = False
         self._best.setdefault(route.asn, {})[origin] = route
 
     def _record_alternative(self, origin: int, route: PropagatedRoute) -> None:
         self._ensure_indexed()
         self._columnar = False
+        self._fragments_complete = False
         per_as = self._alternatives.setdefault(route.asn, {})
         per_as.setdefault(origin, []).append(route)
 
@@ -269,6 +280,22 @@ class PropagationResult:
     def origin_spec(self, origin_asn: int) -> OriginSpec:
         """The :class:`OriginSpec` for *origin_asn*."""
         return self._origins[origin_asn]
+
+    def recorded_fragments(self) -> Dict[int, Tuple[Sequence, Sequence]]:
+        """Origin -> (best, offered) fragments exactly as recorded.
+
+        This is the delta-propagation baseline: when an event timeline
+        patches a result, unaffected origins' fragments are taken from
+        here unchanged (block identity preserved) and only affected
+        origins are recomputed.  Raises when routes were ever recorded
+        outside the fragment protocol — such a result has no complete
+        per-origin fragment decomposition to patch.
+        """
+        if not self._fragments_complete:
+            raise ValueError(
+                "result mixes fragment and per-route recordings; "
+                "it cannot serve as a delta-propagation baseline")
+        return dict(self._fragment_records)
 
     def observers(self) -> List[int]:
         """All ASes with recorded routes."""
@@ -508,6 +535,10 @@ class PropagationEngine:
         # O(origins x nodes) materialised routes to the shared context.
         memoizable = self._record_at is not None
         cache = self._ctx.route_cache
+        # Mutation epoch of the underlying graph/route-server state:
+        # salting it into the key means a lookup after a policy or
+        # membership change can never return a pre-mutation block.
+        epoch = self._ctx.mutation_epoch() if memoizable else None
         recordable = self._record_at
         pending: List[Tuple[int, int, int, Tuple]] = []
         for position, spec in enumerate(specs):
@@ -531,7 +562,7 @@ class PropagationEngine:
                     (RouteBlock.from_routes(own), RouteBlock.empty())
                     if blocks else (own, []))
                 continue
-            key = (origin, origin_bag, self._record_sig)
+            key = (origin, origin_bag, self._record_sig, epoch)
             fragments = cache.get(key) if memoizable else None
             if fragments is not None:
                 results[position] = fragments

@@ -167,6 +167,7 @@ class ScenarioRun:
                               f"@backend={self.inference_backend}"),
                 "analysis": repr(self.analysis_options),
                 "backend": repr(self.backend),
+                "timeline": repr(getattr(self.spec, "timeline", None)),
             }
             self._fingerprints = self.graph.fingerprints(
                 config_repr, options_repr, salt=self.spec.name)
@@ -223,6 +224,12 @@ class ScenarioRun:
     def analyses(self) -> Dict[str, dict]:
         """The per-figure analysis summaries."""
         return self.artifact("analyses")
+
+    def timeline(self):
+        """The event-timeline replay report
+        (:class:`~repro.scenarios.events.TimelineReport`; ``None`` for
+        specs without a timeline)."""
+        return self.artifact("timeline")
 
     def table2(self) -> List[Dict[str, object]]:
         """The paper's Table 2 rows (via the analyses stage)."""

@@ -113,6 +113,57 @@ def _propagate_chunk(specs: List[OriginSpec]) -> List[Fragments]:
 
 # -- parent side ---------------------------------------------------------------
 
+def sharded_fragments(
+    context: PipelineContext,
+    origins: Sequence[OriginSpec],
+    record_at: Optional[FrozenSet[int]],
+    record_alternatives_at: FrozenSet[int],
+    workers: Optional[int],
+    backend: Optional[str] = None,
+) -> List[Fragments]:
+    """Recorded fragments for *origins*, in origin order, sharded
+    across *workers* processes.
+
+    The raw fragment plane under :func:`sharded_propagate`, also used by
+    the delta plane (:mod:`repro.runtime.delta`) to recompute just the
+    affected origins.  Falls back to the in-process engine for
+    ``workers <= 1`` (or a single origin); the sharded path yields the
+    exact fragment sequence of the fallback.
+    """
+    origins = list(origins)
+    worker_count = resolve_workers(workers)
+    if backend is not None:
+        from repro.bgp.propagation import BACKENDS
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown propagation backend {backend!r} "
+                             f"(choose from {BACKENDS})")
+
+    if worker_count <= 1 or len(origins) < 2:
+        engine = context.engine(record_at=record_at,
+                                record_alternatives_at=record_alternatives_at,
+                                backend=backend)
+        return engine.batch_fragments(origins)
+
+    effective_backend = backend if backend is not None else context.backend
+    vectorized = effective_backend in VECTORIZED_BACKENDS
+    # Vectorized workers replay the parent's compiled plan: build it
+    # once here and ship it in the snapshot instead of once per worker.
+    snapshot = snapshot_context(context, include_plan=vectorized)
+    if backend is not None and backend != snapshot.backend:
+        snapshot = replace(snapshot, backend=backend)
+    chunks_per_worker = 1 if vectorized else CHUNKS_PER_WORKER
+    chunks = chunked(origins, worker_count * chunks_per_worker)
+    fragments: List[Fragments] = []
+    with ProcessPoolExecutor(
+        max_workers=min(worker_count, len(chunks)),
+        initializer=_init_propagation_worker,
+        initargs=(snapshot, record_at, record_alternatives_at),
+    ) as pool:
+        for chunk_fragments in pool.map(_propagate_chunk, chunks):
+            fragments.extend(chunk_fragments)
+    return fragments
+
+
 def sharded_propagate(
     context: PipelineContext,
     origins: Iterable[OriginSpec],
@@ -134,38 +185,22 @@ def sharded_propagate(
     worker_count = resolve_workers(workers)
     record = frozenset(record_at) if record_at is not None else None
     record_alt = frozenset(record_alternatives_at or ())
-    if backend is not None:
-        from repro.bgp.propagation import BACKENDS
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown propagation backend {backend!r} "
-                             f"(choose from {BACKENDS})")
 
     if worker_count <= 1 or len(origins) < 2:
+        # In-process fast path keeps PropagationEngine.propagate's
+        # origin-spec bookkeeping (and its isolated-origin handling).
         engine = context.engine(record_at=record,
                                 record_alternatives_at=record_alt,
                                 backend=backend)
         return engine.propagate(origins)
 
-    effective_backend = backend if backend is not None else context.backend
-    vectorized = effective_backend in VECTORIZED_BACKENDS
-    # Vectorized workers replay the parent's compiled plan: build it
-    # once here and ship it in the snapshot instead of once per worker.
-    snapshot = snapshot_context(context, include_plan=vectorized)
-    if backend is not None and backend != snapshot.backend:
-        snapshot = replace(snapshot, backend=backend)
-    chunks_per_worker = 1 if vectorized else CHUNKS_PER_WORKER
-    chunks = chunked(origins, worker_count * chunks_per_worker)
+    fragments = sharded_fragments(context, origins, record, record_alt,
+                                  workers, backend=backend)
     result = PropagationResult()
-    with ProcessPoolExecutor(
-        max_workers=min(worker_count, len(chunks)),
-        initializer=_init_propagation_worker,
-        initargs=(snapshot, record, record_alt),
-    ) as pool:
-        for chunk, fragments in zip(chunks, pool.map(_propagate_chunk, chunks)):
-            for spec, (best, offered) in zip(chunk, fragments):
-                result._record_origin(spec)
-                # Blocks stay columnar through the merge; the result
-                # folds them into its dicts lazily, in this exact
-                # recording order (bit-identical to single-process).
-                result._record_fragments(spec.asn, best, offered)
+    for spec, (best, offered) in zip(origins, fragments):
+        result._record_origin(spec)
+        # Blocks stay columnar through the merge; the result folds
+        # them into its dicts lazily, in this exact recording order
+        # (bit-identical to single-process).
+        result._record_fragments(spec.asn, best, offered)
     return result

@@ -11,7 +11,7 @@ only converts back to ASNs/prefixes/communities at result boundaries.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple
 
 from repro.runtime.bitset import BitsetIndex
 from repro.runtime.csr import CSRIndex
@@ -127,7 +127,9 @@ class PipelineContext:
 
     def __init__(self, index: CSRIndex,
                  backend: str = DEFAULT_BACKEND,
-                 inference_backend: str = DEFAULT_INFERENCE_BACKEND) -> None:
+                 inference_backend: str = DEFAULT_INFERENCE_BACKEND,
+                 epoch_provider: Optional[Callable[[], Hashable]] = None,
+                 ) -> None:
         if backend not in PROPAGATION_BACKENDS:
             raise ValueError(
                 f"unknown propagation backend {backend!r} "
@@ -154,9 +156,15 @@ class PipelineContext:
         self.communities: Interner = Interner()
         self._propagator: Optional[FrontierPropagator] = None
         self._plan = None
-        #: (origin, origin bag, record signature) -> recorded fragments,
-        #: with entry/byte/hit/miss accounting.
+        #: (origin, origin bag, record signature, epoch) -> recorded
+        #: fragments, with entry/byte/hit/miss accounting.
         self._route_cache = RouteCache()
+        #: mutation-epoch provider: a callable returning a hashable
+        #: snapshot of the external mutation counters this context's
+        #: routes depend on (graph version, route-server versions ...).
+        #: The engine salts the epoch into every route-cache key, so a
+        #: post-mutation lookup can never return a stale block.
+        self._epoch_provider = epoch_provider
         self._member_indices: Dict[Hashable, Tuple[frozenset, BitsetIndex]] = {}
         #: bitset-backend observation planes: (PlaneCacheKey, planes)
         #: pairs, newest last (see repro.core.planes.PlaneCacheKey).
@@ -224,6 +232,34 @@ class PipelineContext:
         """Memoised per-origin recorded route fragments (with
         entry/byte accounting, see :class:`RouteCache`)."""
         return self._route_cache
+
+    def __getstate__(self):
+        # A bound epoch provider closes over the live graph/route-server
+        # objects whose counters it snapshots; a pickle roundtrip severs
+        # that link (the restored context pairs with *restored* copies),
+        # so the provider is dropped and the context reverts to the
+        # constant epoch until a caller rebinds one.
+        state = self.__dict__.copy()
+        state["_epoch_provider"] = None
+        return state
+
+    def bind_epoch(self, provider: Callable[[], Hashable]) -> None:
+        """Bind the mutation counters of the state this context's index
+        was built from (see :meth:`mutation_epoch`)."""
+        self._epoch_provider = provider
+
+    def mutation_epoch(self) -> Hashable:
+        """The current mutation epoch salted into route-cache keys.
+
+        Constant ``0`` when no provider is bound (a context over
+        immutable inputs); otherwise whatever hashable snapshot the
+        bound provider reports — e.g. ``(graph.version, route-server
+        versions)`` as bound by the propagation stage.  Any bump of an
+        underlying counter changes the epoch, so fragments memoised
+        before a mutation are unreachable afterwards.
+        """
+        return self._epoch_provider() if self._epoch_provider is not None \
+            else 0
 
     def clear_propagation_cache(self) -> None:
         """Drop all memoised per-origin propagation fragments."""

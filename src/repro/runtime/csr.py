@@ -18,6 +18,7 @@ layout, so the frontier BFS never tests relationships in its inner loop:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.bgp.policy import Relationship
@@ -134,6 +135,60 @@ class CSRIndex:
         return cls(asns, bags, phases[0], phases[1], phases[2],
                    num_edges=len(adjacency_list))
 
+    # -- incremental maintenance ---------------------------------------------
+
+    def spliced(self, removed: Iterable[object], added: Iterable[object],
+                retagged: Iterable[object] = ()) -> "CSRIndex":
+        """A new index equal to a from-scratch build after an edge delta.
+
+        *removed*/*added* are directed adjacency records (same duck type
+        as :meth:`from_adjacencies`); *retagged* records keep their row
+        but get their edge annotations (bag, via) re-derived — the
+        policy-edit case, where a member's RS communities change on
+        edges whose adjacency is untouched.  The phase arrays are copied
+        and each change is applied at the sorted ``(source, target)``
+        position a full rebuild's stable sort would have produced, so
+        the result is structurally identical to
+        ``from_adjacencies(post_change_adjacencies)`` — that is what
+        makes event-driven delta recompute bit-identical to a rebuild.
+
+        The ASN interner is shared (node ids must not shift) and the bag
+        store is shared and appended to (existing bag ids stay valid for
+        the old index and any plan built over it).  Raises ``KeyError``
+        when an endpoint is not interned or a removed/retagged edge is
+        absent — callers fall back to a full rebuild, which also covers
+        node-set changes this method must not attempt.
+        """
+        id_of = self.id_of
+        changes: Tuple[list, list, list] = ([], [], [])
+        delta = 0
+        for sign, adjacencies in ((-1, removed), (+1, added), (0, retagged)):
+            for adj in adjacencies:
+                rel = _REL_CODE[adj.relationship]
+                source = id_of[adj.source]
+                target = id_of[adj.target]
+                communities = adj.communities
+                bag = self.bags.intern(frozenset(communities)) \
+                    if communities else 0
+                via = adj.via_rs_asn
+                via_asn = via if (via is not None
+                                  and not adj.rs_transparent) else -1
+                record = (sign, source, target, rel, bag, via_asn)
+                delta += sign
+                if rel == REL_CUSTOMER or rel == REL_SIBLING:
+                    changes[0].append(record)
+                if rel == REL_PEER or rel == REL_RS_PEER:
+                    changes[1].append(record)
+                if rel == REL_PROVIDER or rel == REL_SIBLING:
+                    changes[2].append(record)
+        phases = tuple(
+            _splice_phase(phase, phase_changes) if phase_changes else phase
+            for phase, phase_changes in zip(
+                (self.customer_edges, self.peer_edges, self.provider_edges),
+                changes))
+        return CSRIndex(self.asns, self.bags, phases[0], phases[1],
+                        phases[2], num_edges=self.num_edges + delta)
+
     # -- introspection -------------------------------------------------------
 
     def summary(self) -> Dict[str, int]:
@@ -149,6 +204,46 @@ class CSRIndex:
 
     def __repr__(self) -> str:
         return f"CSRIndex({self.num_nodes} nodes, {self.num_edges} edges)"
+
+
+def _splice_phase(phase: PhaseEdges, changes: List[tuple]) -> PhaseEdges:
+    """Apply ``(sign, source, target, rel, bag, via)`` changes to a copy
+    of *phase*, keeping the per-source target ordering of a stable
+    ``(source, target)`` sort (edges are unique per pair within a
+    phase, so the position is exact)."""
+    indptr = list(phase.indptr)
+    targets = list(phase.targets)
+    rels = list(phase.rels)
+    bags = list(phase.bags)
+    vias = list(phase.vias)
+    num_nodes = len(indptr) - 1
+    for sign, source, target, rel, bag, via in changes:
+        lo, hi = indptr[source], indptr[source + 1]
+        position = bisect_left(targets, target, lo, hi)
+        present = position < hi and targets[position] == target
+        if sign < 0:
+            if not present:
+                raise KeyError((source, target))
+            del targets[position], rels[position], bags[position], \
+                vias[position]
+        elif sign > 0:
+            if present:
+                raise KeyError((source, target))
+            targets.insert(position, target)
+            rels.insert(position, rel)
+            bags.insert(position, bag)
+            vias.insert(position, via)
+        else:  # retag in place: row position and ordering untouched
+            if not present:
+                raise KeyError((source, target))
+            rels[position] = rel
+            bags[position] = bag
+            vias[position] = via
+            continue
+        for node in range(source + 1, num_nodes + 1):
+            indptr[node] += sign
+    return PhaseEdges(indptr=indptr, targets=targets, rels=rels,
+                      bags=bags, vias=vias)
 
 
 def _build_phase(

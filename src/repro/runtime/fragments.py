@@ -298,6 +298,32 @@ class RouteBlock:
         """The CLASS_* provenance of *row* as a python int."""
         return self._scalar_columns()[1][row]
 
+    def equivalent_to(self, other: "RouteBlock") -> bool:
+        """Semantic row equality with *other*: same observers, paths,
+        provenances, exporters and community bags, row for row.
+
+        Internal numbering (``pid``, the ``bag_id`` -> :attr:`bag_values`
+        indirection) is *not* compared — two blocks computed by different
+        batch compositions are equivalent as long as they describe the
+        same routes.  This is the contract delta patching is tested
+        against: a reused block and a recomputed one must compare equal.
+        """
+        if self is other:
+            return True
+        if len(self.asn) != len(other.asn):
+            return False
+        if not (np.array_equal(self.asn, other.asn)
+                and np.array_equal(self.provenance, other.provenance)
+                and np.array_equal(self.learned_from, other.learned_from)
+                and np.array_equal(self.path_offsets, other.path_offsets)
+                and np.array_equal(self.path_values, other.path_values)):
+            return False
+        if self.bag_values == other.bag_values and \
+                np.array_equal(self.bag_id, other.bag_id):
+            return True
+        return all(self.communities_at(row) == other.communities_at(row)
+                   for row in range(len(self.asn)))
+
     def link_pairs(self):
         """Undirected ``(lo, hi)`` ASN pair arrays adjacent in any path.
 

@@ -315,6 +315,11 @@ def stage_propagation(
     context = PipelineContext.from_graph(
         graph, rs_community_provider=rs_communities,
         backend=backend if backend is not None else DEFAULT_BACKEND)
+    # Salt the graph/route-server mutation counters into the context's
+    # route-cache keys: a lookup after any policy, membership or
+    # topology mutation can never return a pre-mutation block.
+    from repro.scenarios.events import mutation_epoch_provider
+    context.bind_epoch(mutation_epoch_provider(graph, route_servers))
     origins = [OriginSpec(asn=node.asn, prefixes=list(node.prefixes))
                for node in graph.nodes() if node.prefixes]
 
@@ -743,6 +748,41 @@ def _run_reachability_stage(run):
     return scenario.reachability_matrix(run.artifact("inference"))
 
 
+def stage_timeline(run):
+    """Replay the spec's event timeline incrementally over the baseline
+    propagation (``None`` when the spec declares no timeline).
+
+    Events are derived from the baseline state and the timeline seed,
+    then applied one at a time with frontier-limited delta recompute:
+    only origins in the affected set are re-propagated, every other
+    origin's columnar blocks are reused from the previous result.  The
+    replay works on deepcopies, so the cached topology/ixps/propagation
+    artifacts are never mutated.
+    """
+    timeline_spec = getattr(run.spec, "timeline", None)
+    if timeline_spec is None:
+        return None
+    from repro.scenarios.events import (
+        TimelineReplay,
+        build_timeline,
+        record_sets,
+    )
+    internet: GeneratedInternet = run.artifact("topology")
+    ixps_artifact = run.artifact("ixps")
+    propagation_artifact = run.artifact("propagation")
+    record_at, record_alternatives_at = record_sets(propagation_artifact)
+    events = build_timeline(timeline_spec, internet.graph,
+                            ixps_artifact["route_servers"])
+    replay = TimelineReplay(
+        internet.graph, ixps_artifact["route_servers"],
+        propagation_artifact["propagation"],
+        record_at, record_alternatives_at,
+        backend=propagation_artifact["backend"],
+        workers=run.workers,
+        context=propagation_artifact["context"])
+    return replay.replay(events)
+
+
 def _run_analyses_stage(run):
     from repro.pipeline.analyses import run_analyses
     return run_analyses(
@@ -838,6 +878,15 @@ STAGE_LIBRARY: Dict[str, Stage] = {
             "reachability",
             fn=_run_reachability_stage,
             deps=("scenario", "inference"),
+        ),
+        Stage(
+            "timeline",
+            fn=stage_timeline,
+            deps=("topology", "ixps", "propagation"),
+            # The timeline namespace carries the TimelineSpec repr, so
+            # replays of different event families/seeds never alias;
+            # specs without a timeline fingerprint as repr(None).
+            options_key="timeline",
         ),
         Stage(
             "analyses",

@@ -19,6 +19,11 @@ import it directly):
   Table 2 roster with IXP membership compounding ~18%/year from the
   2013 baseline (and PeeringDB registration slowly rising), for scale
   sweeps along a realistic axis.
+* ``europe2013-churn`` / ``europe2013-failover`` /
+  ``europe2013-flap-storm`` — event-driven variants of europe2013: the
+  same baseline plus an event timeline (RS churn, provider failover,
+  session flapping) replayed by the ``timeline`` stage with
+  frontier-limited delta recompute.
 
 Adding a family is one :func:`~repro.scenarios.spec.register_scenario`
 call; benchmarks, workloads, examples and the CI scenario matrix pick
@@ -30,6 +35,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import List
 
+from repro.scenarios.events import TimelineSpec
 from repro.scenarios.spec import ScenarioSpec, register_scenario
 from repro.topology.generator import IXPSpec, default_euro_ixps
 
@@ -40,6 +46,23 @@ EUROPE2013 = register_scenario(ScenarioSpec(
     name="europe2013",
     description="13 large European IXPs, May 2013 (the paper's Table 2).",
 ))
+
+
+# -- event-driven variants ----------------------------------------------------
+
+#: The europe2013 baseline replayed through each registered event
+#: family.  One spec per family: benchmarks, workloads, goldens and the
+#: CI matrix resolve scenarios via the registry, so the event-driven
+#: variants participate in all of them automatically.
+EVENT_SCENARIOS = {
+    family: register_scenario(EUROPE2013.with_overrides(
+        name=f"europe2013-{family}",
+        description=f"europe2013 plus a {family!r} event timeline "
+                    "(incremental delta replay).",
+        timeline=TimelineSpec(family=family, length=8, seed=20130508),
+    ))
+    for family in ("churn", "failover", "flap-storm")
+}
 
 
 # -- hypergiant2016 -----------------------------------------------------------

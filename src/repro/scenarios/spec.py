@@ -32,6 +32,7 @@ from repro.scenarios.base import (
     default_stage_names,
     stage_graph_for,
 )
+from repro.scenarios.events import TimelineSpec
 from repro.pipeline.stage import StageGraph
 from repro.topology.generator import GeneratorConfig, IXPSpec
 
@@ -122,6 +123,12 @@ class ScenarioSpec:
     #: engine.  The resolved backend is salted into the inference
     #: stage's fingerprint (upstream stages stay shared).
     inference_backend: Optional[str] = None
+    #: Event timeline replayed by the ``timeline`` stage after the
+    #: baseline propagation (:class:`~repro.scenarios.events.
+    #: TimelineSpec`, resolved against :data:`~repro.scenarios.events.
+    #: EVENT_FAMILIES`); ``None`` makes the stage a no-op.  Salted into
+    #: the timeline stage's fingerprint (namespace ``timeline``).
+    timeline: Optional[TimelineSpec] = None
 
     # -- derived artefacts ----------------------------------------------------
 

@@ -106,6 +106,54 @@ class ASLink:
         return f"{self.a}-{self.b} ({self.link_type.value})"
 
 
+def link_adjacencies(link: ASLink,
+                     rs_community_provider=None) -> List[Adjacency]:
+    """The directed propagation adjacencies of one link.
+
+    The single source of the link -> adjacency mapping: the full-graph
+    export (:meth:`ASGraph.propagation_adjacencies`) and the incremental
+    index splice (:meth:`~repro.runtime.csr.CSRIndex.spliced`) both go
+    through here, so an event-driven single-link update attaches exactly
+    the records a from-scratch rebuild would.
+    """
+    if link.link_type is LinkType.C2P:
+        customer, provider = link.a, link.b
+        return [
+            Adjacency(source=customer, target=provider,
+                      relationship=Relationship.CUSTOMER),
+            Adjacency(source=provider, target=customer,
+                      relationship=Relationship.PROVIDER),
+        ]
+    if link.link_type is LinkType.SIBLING:
+        return [
+            Adjacency(source=link.a, target=link.b,
+                      relationship=Relationship.SIBLING),
+            Adjacency(source=link.b, target=link.a,
+                      relationship=Relationship.SIBLING),
+        ]
+    if link.link_type is LinkType.P2P:
+        return [
+            Adjacency(source=link.a, target=link.b,
+                      relationship=Relationship.PEER, ixp=link.ixp),
+            Adjacency(source=link.b, target=link.a,
+                      relationship=Relationship.PEER, ixp=link.ixp),
+        ]
+    # RS_P2P: each direction carries the exporter's RS communities.
+    communities_ab = frozenset()
+    communities_ba = frozenset()
+    if rs_community_provider is not None and link.ixp is not None:
+        communities_ab = frozenset(rs_community_provider(link.a, link.ixp))
+        communities_ba = frozenset(rs_community_provider(link.b, link.ixp))
+    return [
+        Adjacency(source=link.a, target=link.b,
+                  relationship=Relationship.RS_PEER, ixp=link.ixp,
+                  communities=communities_ab),
+        Adjacency(source=link.b, target=link.a,
+                  relationship=Relationship.RS_PEER, ixp=link.ixp,
+                  communities=communities_ba),
+    ]
+
+
 class ASGraph:
     """Mutable AS-level topology with relationship annotations."""
 
@@ -116,6 +164,15 @@ class ASGraph:
         #: bumped on every mutation; invalidates the cached CSR index.
         self._version = 0
         self._index_cache: Optional[Tuple[int, CSRIndex]] = None
+
+    @property
+    def version(self) -> int:
+        """Structural mutation counter (nodes/links added or removed).
+
+        Field mutation on an :class:`ASNode` does not bump it; callers
+        that need that granularity must track it themselves.
+        """
+        return self._version
 
     # -- nodes ---------------------------------------------------------------
 
@@ -324,44 +381,7 @@ class ASGraph:
         for link in self._links.values():
             if allowed is not None and link.link_type not in allowed:
                 continue
-            if link.link_type is LinkType.C2P:
-                customer, provider = link.a, link.b
-                adjacencies.append(Adjacency(
-                    source=customer, target=provider,
-                    relationship=Relationship.CUSTOMER))
-                adjacencies.append(Adjacency(
-                    source=provider, target=customer,
-                    relationship=Relationship.PROVIDER))
-            elif link.link_type is LinkType.SIBLING:
-                adjacencies.append(Adjacency(
-                    source=link.a, target=link.b,
-                    relationship=Relationship.SIBLING))
-                adjacencies.append(Adjacency(
-                    source=link.b, target=link.a,
-                    relationship=Relationship.SIBLING))
-            elif link.link_type is LinkType.P2P:
-                adjacencies.append(Adjacency(
-                    source=link.a, target=link.b,
-                    relationship=Relationship.PEER, ixp=link.ixp))
-                adjacencies.append(Adjacency(
-                    source=link.b, target=link.a,
-                    relationship=Relationship.PEER, ixp=link.ixp))
-            else:  # RS_P2P
-                communities_ab = frozenset()
-                communities_ba = frozenset()
-                if rs_community_provider is not None and link.ixp is not None:
-                    communities_ab = frozenset(
-                        rs_community_provider(link.a, link.ixp))
-                    communities_ba = frozenset(
-                        rs_community_provider(link.b, link.ixp))
-                adjacencies.append(Adjacency(
-                    source=link.a, target=link.b,
-                    relationship=Relationship.RS_PEER, ixp=link.ixp,
-                    communities=communities_ab))
-                adjacencies.append(Adjacency(
-                    source=link.b, target=link.a,
-                    relationship=Relationship.RS_PEER, ixp=link.ixp,
-                    communities=communities_ba))
+            adjacencies.extend(link_adjacencies(link, rs_community_provider))
         return adjacencies
 
     def build_index(self, rs_community_provider=None) -> CSRIndex:

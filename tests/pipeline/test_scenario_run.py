@@ -27,6 +27,7 @@ def cold_run(shared_cache):
     """A cold run that has resolved every stage once."""
     run = ScenarioRun(small_scenario_config(), cache=shared_cache)
     run.analyses()
+    run.timeline()      # leaf stage: nothing depends on it
     return run
 
 

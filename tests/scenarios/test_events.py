@@ -1,0 +1,302 @@
+"""Event timelines and delta replay: semantics, determinism, and the
+bit-identity of incremental replay against from-scratch rebuilds."""
+
+import copy
+import random
+
+import pytest
+
+from repro.pipeline.run import ScenarioRun
+from repro.runtime.delta import fragments_equivalent
+from repro.scenarios.events import (
+    EVENT_FAMILIES,
+    MemberJoin,
+    MemberLeave,
+    PolicyEdit,
+    PrefixChurn,
+    ReplayState,
+    SessionDown,
+    SessionUp,
+    TimelineReplay,
+    TimelineSpec,
+    build_timeline,
+    event_family_names,
+    rebuild_propagation,
+    record_sets,
+)
+from repro.scenarios.spec import get_scenario, scenario_names
+from repro.topology.as_graph import LinkType
+
+PRODUCTION_BACKENDS = ("frontier", "batched", "compiled")
+
+
+@pytest.fixture(scope="module")
+def tiny_baseline():
+    """The europe2013 tiny baseline: state + propagation artifact."""
+    spec = get_scenario("europe2013-churn")
+    run = ScenarioRun(scenario="europe2013-churn", config=spec.config("tiny"))
+    prop = run.artifact("propagation")
+    scenario = run.scenario()
+    record_at, record_alt = record_sets(prop)
+    return {
+        "spec": spec,
+        "run": run,
+        "graph": scenario.graph,
+        "route_servers": scenario.route_servers,
+        "baseline": prop["propagation"],
+        "record_at": record_at,
+        "record_alt": record_alt,
+    }
+
+
+# ---------------------------------------------------------------------------
+# registration and determinism
+# ---------------------------------------------------------------------------
+
+
+def test_event_families_registered():
+    assert event_family_names() == ["churn", "failover", "flap-storm"]
+    names = scenario_names()
+    for family in event_family_names():
+        assert f"europe2013-{family}" in names
+        spec = get_scenario(f"europe2013-{family}")
+        assert spec.timeline == TimelineSpec(family=family, length=8,
+                                             seed=20130508)
+
+
+def test_unknown_event_family_raises(tiny_baseline):
+    with pytest.raises(ValueError, match="unknown event family"):
+        build_timeline(TimelineSpec(family="nope"),
+                       tiny_baseline["graph"],
+                       tiny_baseline["route_servers"])
+
+
+@pytest.mark.parametrize("family", sorted(EVENT_FAMILIES))
+def test_build_timeline_is_deterministic(tiny_baseline, family):
+    spec = TimelineSpec(family=family, length=8, seed=7)
+    first = build_timeline(spec, tiny_baseline["graph"],
+                           tiny_baseline["route_servers"])
+    second = build_timeline(spec, tiny_baseline["graph"],
+                            tiny_baseline["route_servers"])
+    assert first == second
+    assert len(first) == 8
+
+
+# ---------------------------------------------------------------------------
+# event interpreter semantics
+# ---------------------------------------------------------------------------
+
+
+def test_session_flap_restores_the_exact_link(tiny_baseline):
+    graph, route_servers = copy.deepcopy(
+        (tiny_baseline["graph"], tiny_baseline["route_servers"]))
+    state = ReplayState(graph, route_servers)
+    link = sorted(graph.links(LinkType.RS_P2P),
+                  key=lambda l: l.endpoints)[0]
+    effect = state.apply(SessionDown(link.a, link.b))
+    assert effect.removed_links == (link,)
+    assert effect.touches_index
+    assert graph.get_link(link.a, link.b) is None
+    effect = state.apply(SessionUp(link.a, link.b))
+    assert effect.added_links == (link,)
+    assert graph.get_link(link.a, link.b) == link
+    # A second up is a no-op (nothing left in the flap registry).
+    assert not state.apply(SessionUp(link.a, link.b)).touches_index
+
+
+def test_pair_recompute_never_resurrects_a_downed_session(tiny_baseline):
+    graph, route_servers = copy.deepcopy(
+        (tiny_baseline["graph"], tiny_baseline["route_servers"]))
+    state = ReplayState(graph, route_servers)
+    ixp = sorted(route_servers)[0]
+    route_server = route_servers[ixp]
+    members = route_server.members()
+    link = next(l for l in sorted(graph.links(LinkType.RS_P2P),
+                                  key=lambda l: l.endpoints)
+                if l.ixp == ixp and l.a in members and l.b in members)
+    state.apply(SessionDown(link.a, link.b))
+    # An unrelated policy edit re-derives the member's pairs; the downed
+    # session must stay down.
+    state.apply(PolicyEdit(ixp=ixp, member=link.a))
+    assert graph.get_link(link.a, link.b) is None
+    state.apply(SessionUp(link.a, link.b))
+    assert graph.get_link(link.a, link.b) == link
+
+
+def test_prefix_churn_only_dirties_the_origin(tiny_baseline):
+    graph, route_servers = copy.deepcopy(
+        (tiny_baseline["graph"], tiny_baseline["route_servers"]))
+    state = ReplayState(graph, route_servers)
+    asn = next(a for a in graph.asns() if graph.get_as(a).prefixes)
+    effect = state.apply(PrefixChurn(asn=asn, prefix="198.51.100.0/24"))
+    assert not effect.touches_index
+    assert effect.dirty_origins == {asn}
+    # Announcing the same prefix again is a no-op.
+    effect = state.apply(PrefixChurn(asn=asn, prefix="198.51.100.0/24"))
+    assert effect.dirty_origins == frozenset()
+    effect = state.apply(PrefixChurn(asn=asn, prefix="198.51.100.0/24",
+                                     withdraw=True))
+    assert effect.dirty_origins == {asn}
+
+
+# ---------------------------------------------------------------------------
+# pipeline integration: fingerprints, stage, caching
+# ---------------------------------------------------------------------------
+
+
+def test_timeline_fingerprint_isolates_the_stage():
+    base = ScenarioRun(scenario="europe2013",
+                       config=get_scenario("europe2013").config("tiny"))
+    spec = get_scenario("europe2013-churn")
+    event = ScenarioRun(scenario="europe2013-churn",
+                        config=spec.config("tiny"))
+    # Upstream stages share fingerprints... they cannot: the scenario
+    # name salts every stage.  What must hold: within one scenario, the
+    # timeline namespace only feeds the timeline stage.
+    flipped = ScenarioRun(
+        scenario=spec.with_overrides(
+            timeline=TimelineSpec(family="failover", length=8,
+                                  seed=20130508)),
+        config=spec.config("tiny"))
+    for stage in ("topology", "ixps", "propagation"):
+        assert event.fingerprint(stage) == flipped.fingerprint(stage)
+    assert event.fingerprint("timeline") != flipped.fingerprint("timeline")
+    assert base.fingerprint("timeline") != event.fingerprint("timeline")
+
+
+def test_timeline_stage_is_noop_without_a_timeline():
+    run = ScenarioRun(scenario="europe2013",
+                      config=get_scenario("europe2013").config("tiny"))
+    assert run.spec.timeline is None
+    assert run.timeline() is None
+
+
+def test_timeline_stage_replays_and_reports(tiny_baseline):
+    report = tiny_baseline["run"].timeline()
+    assert len(report.events) == 8
+    assert len(report.reports) == 8
+    rows = report.rows()
+    assert {"event", "affected", "recomputed", "reused",
+            "affected_fraction", "links_changed", "seconds"} \
+        <= set(rows[0])
+    for event_report in report.reports:
+        assert event_report.recomputed + event_report.reused \
+            == event_report.total
+
+
+# ---------------------------------------------------------------------------
+# the property: delta replay == from-scratch rebuild, bit for bit
+# ---------------------------------------------------------------------------
+
+
+def random_events(rng, graph, route_servers, length):
+    """A randomized mixed event sequence, drawn against evolving state
+    (an auxiliary ReplayState keeps successive draws meaningful)."""
+    state = ReplayState(*copy.deepcopy((graph, route_servers)))
+    roster = sorted(route_servers)
+    events = []
+    while len(events) < length:
+        kind = rng.randrange(6)
+        if kind == 0:
+            links = sorted(state.graph.links(), key=lambda l: l.endpoints)
+            link = links[rng.randrange(len(links))]
+            event = SessionDown(link.a, link.b)
+        elif kind == 1:
+            if not state.down_links:
+                continue
+            key = sorted(state.down_links)[rng.randrange(
+                len(state.down_links))]
+            event = SessionUp(*key)
+        elif kind == 2:
+            ixp = roster[rng.randrange(len(roster))]
+            members = state.route_servers[ixp].members()
+            if not members:
+                continue
+            member = members[rng.randrange(len(members))]
+            excluded = [m for m in members if m != member][:2]
+            event = PolicyEdit(ixp=ixp, member=member,
+                               listed=tuple(excluded))
+        elif kind == 3:
+            ixp = roster[rng.randrange(len(roster))]
+            candidates = sorted(
+                set(state.graph.members_of_ixp(ixp))
+                - state.route_servers[ixp].member_set())
+            if not candidates:
+                continue
+            event = MemberJoin(ixp=ixp,
+                               member=candidates[rng.randrange(
+                                   len(candidates))])
+        elif kind == 4:
+            ixp = roster[rng.randrange(len(roster))]
+            members = state.route_servers[ixp].members()
+            if len(members) <= 2:
+                continue
+            event = MemberLeave(ixp=ixp,
+                                member=members[rng.randrange(len(members))])
+        else:
+            asns = state.graph.asns()
+            asn = asns[rng.randrange(len(asns))]
+            event = PrefixChurn(asn=asn,
+                                prefix=f"198.18.{len(events)}.0/24",
+                                withdraw=rng.random() < 0.3)
+        state.apply(event)
+        events.append(event)
+    return events
+
+
+def assert_results_identical(mine, theirs, label):
+    assert mine.visible_links() == theirs.visible_links(), label
+    mine_map = mine.recorded_fragments()
+    theirs_map = theirs.recorded_fragments()
+    assert list(mine_map) == list(theirs_map), label
+    for origin in mine_map:
+        assert fragments_equivalent(mine_map[origin], theirs_map[origin]), \
+            (label, origin)
+
+
+@pytest.mark.parametrize("backend", PRODUCTION_BACKENDS)
+def test_random_event_sequence_delta_matches_rebuild(tiny_baseline, backend):
+    graph = tiny_baseline["graph"]
+    route_servers = tiny_baseline["route_servers"]
+    record_at = tiny_baseline["record_at"]
+    record_alt = tiny_baseline["record_alt"]
+    events = random_events(random.Random(20130508 + len(backend)),
+                           graph, route_servers, length=6)
+
+    replay = TimelineReplay(graph, route_servers, tiny_baseline["baseline"],
+                            record_at, record_alt, backend=backend)
+    rebuild_graph, rebuild_servers = copy.deepcopy((graph, route_servers))
+    rebuild_state = ReplayState(rebuild_graph, rebuild_servers)
+    for index, event in enumerate(events):
+        report = replay.apply(event)
+        rebuild_state.apply(event)
+        _, full = rebuild_propagation(rebuild_graph, rebuild_servers,
+                                      record_at, record_alt,
+                                      backend=backend)
+        assert_results_identical(replay.result, full,
+                                 (backend, index, event))
+        assert report.recomputed + report.reused == report.total
+
+
+@pytest.mark.parametrize("family", sorted(EVENT_FAMILIES))
+def test_registered_family_delta_matches_rebuild(tiny_baseline, family):
+    """Every registered family's full timeline is delta-replayed and
+    checked against one final from-scratch rebuild (per-prefix checks
+    run in the randomized test above)."""
+    graph = tiny_baseline["graph"]
+    route_servers = tiny_baseline["route_servers"]
+    record_at = tiny_baseline["record_at"]
+    record_alt = tiny_baseline["record_alt"]
+    events = build_timeline(TimelineSpec(family=family, length=8,
+                                         seed=20130508),
+                            graph, route_servers)
+    replay = TimelineReplay(graph, route_servers, tiny_baseline["baseline"],
+                            record_at, record_alt, backend="frontier")
+    replay.replay(events)
+    rebuild_graph, rebuild_servers = copy.deepcopy((graph, route_servers))
+    rebuild_state = ReplayState(rebuild_graph, rebuild_servers)
+    for event in events:
+        rebuild_state.apply(event)
+    _, full = rebuild_propagation(rebuild_graph, rebuild_servers,
+                                  record_at, record_alt, backend="frontier")
+    assert_results_identical(replay.result, full, family)
