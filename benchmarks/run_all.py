@@ -594,6 +594,75 @@ def run_delta_matrix(size: str = "bench") -> list[dict]:
     return rows
 
 
+def run_query_matrix(size: str = "tiny",
+                     scenario: str = "europe2013",
+                     requests_per_endpoint: int = 400) -> list[dict]:
+    """Load-test the query daemon over the mmap artifact; one row per
+    endpoint.
+
+    Warms *scenario* at *size* through :func:`repro.service.daemon.
+    warm_service` (pipeline build -> artifact export -> mmap load ->
+    bit-identity assertion), starts the HTTP server on a background
+    thread and replays ~*requests_per_endpoint* keep-alive GETs per
+    endpoint through :mod:`repro.service.loadgen`.  Each row records
+    request count, error count, p50/p99 latency in microseconds and
+    queries/second, so daemon regressions are trackable across PRs like
+    every other matrix.  ``has_link`` targets mix sampled true links
+    with guaranteed non-links; ``links_of`` cycles through every peer
+    AS.  A row is ``ok`` when every response was HTTP 200.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import tempfile
+
+    from repro.runtime.batched import numpy_available
+
+    if not numpy_available():
+        print("[run_all] query matrix skipped (numpy unavailable)")
+        return []
+
+    from repro.service.daemon import ServerThread, warm_service
+    from repro.service.loadgen import run_load
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        service, _dirs = warm_service([scenario], size=size,
+                                      artifact_root=Path(tmp), verify=True)
+        handle = service.handles[scenario]
+        links = [(int(a), int(b)) for a, b in handle.all_links]
+        members = sorted(int(asn) for asn in handle.peer_asns)
+        link_set = set(links)
+        true_links = links[:: max(1, len(links)
+                                  // (requests_per_endpoint // 2))]
+        non_links = [(a, b) for a in members[:30] for b in members[:30]
+                     if a < b and (a, b) not in link_set]
+        non_links = non_links[:requests_per_endpoint // 2]
+        targets = {
+            "has_link": [f"/q/{scenario}/has_link?a={a}&b={b}"
+                         for a, b in true_links + non_links],
+            "links_of": [f"/q/{scenario}/links_of?asn={asn}"
+                         for asn in members],
+            "peer_counts": [f"/q/{scenario}/peer_counts"],
+            "member_densities": [f"/q/{scenario}/member_densities"],
+            "table2": [f"/q/{scenario}/table2"],
+        }
+        rows: list[dict] = []
+        with ServerThread(service) as server:
+            for endpoint, endpoint_targets in targets.items():
+                repeat = max(1, requests_per_endpoint
+                             // len(endpoint_targets))
+                run_load("127.0.0.1", server.port, endpoint,
+                         endpoint_targets[:20], repeat=1)  # warmup
+                report = run_load("127.0.0.1", server.port, endpoint,
+                                  endpoint_targets, repeat=repeat)
+                row = {"scenario": scenario, "size": size,
+                       **report.row(), "ok": report.errors == 0}
+                print(f"[run_all] query {endpoint}: "
+                      f"{row['requests']} reqs, p50 {row['p50_us']}us, "
+                      f"p99 {row['p99_us']}us, {row['qps']} q/s, "
+                      f"ok={row['ok']}", flush=True)
+                rows.append(row)
+        return rows
+
+
 def find_previous_trajectory(exclude: Path) -> Path | None:
     """The most recent prior ``BENCH_<ISO date>.json`` (by dated name).
 
@@ -671,6 +740,8 @@ def main() -> int:
     parser.add_argument("--skip-delta-matrix", action="store_true",
                         help="do not run the event-delta vs full-rebuild "
                              "matrix")
+    parser.add_argument("--skip-query-matrix", action="store_true",
+                        help="do not run the query-daemon load matrix")
     parser.add_argument("--matrix-size", default="tiny",
                         help="size-table row for the scenario matrix")
     parser.add_argument("--delta-size", default="bench",
@@ -707,6 +778,10 @@ def main() -> int:
     if not args.skip_delta_matrix:
         delta_rows = run_delta_matrix(args.delta_size)
 
+    query_rows: list[dict] = []
+    if not args.skip_query_matrix:
+        query_rows = run_query_matrix(args.matrix_size)
+
     today = datetime.date.today().isoformat()
     out_path = args.out or (REPO_ROOT / f"BENCH_{today}.json")
     previous_path = find_previous_trajectory(exclude=out_path)
@@ -719,6 +794,7 @@ def main() -> int:
         "backend_matrix": backend_rows,
         "inference_matrix": inference_rows,
         "delta_matrix": delta_rows,
+        "query_matrix": query_rows,
     }
     out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"[run_all] wrote {out_path}")
@@ -738,6 +814,8 @@ def main() -> int:
     if any(not row["results_identical"] for row in inference_rows):
         return 1
     if any(not row["links_equal"] for row in delta_rows):
+        return 1
+    if any(not row["ok"] for row in query_rows):
         return 1
     return 3 if warnings else 0
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Serve a reachability matrix and query it — end to end in one script.
+
+Builds a scenario through the staged pipeline, exports its
+reachability matrix as the mmap-able artifact, boots the query daemon
+on an ephemeral port and asks it questions over real HTTP::
+
+    python examples/query_service.py
+    python examples/query_service.py --scenario hypergiant2016 --size small
+
+For a long-running daemon use the CLI instead::
+
+    python -m repro.service.daemon --scenario europe2013 --size small \
+        --port 8321 --workers 4 --cache-dir .cache
+"""
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service import ServerThread, warm_service
+from repro.service.loadgen import HttpClient, run_load
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="europe2013")
+    parser.add_argument("--size", default="tiny")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-example-") as tmp:
+        print(f"warming {args.scenario} ({args.size}) -- pipeline build, "
+              "artifact export, mmap load, bit-identity check ...")
+        service, directories = warm_service(
+            [args.scenario], size=args.size, artifact_root=Path(tmp))
+        handle = service.handles[args.scenario]
+        print(f"artifact: {directories[0]}")
+        print(f"summary:  {handle.summary()}")
+
+        with ServerThread(service) as server, \
+                HttpClient("127.0.0.1", server.port) as client:
+            print(f"daemon listening on 127.0.0.1:{server.port}")
+
+            a, b = (int(x) for x in handle.all_links[0])
+            _, payload = client.request(
+                f"/q/{args.scenario}/has_link?a={a}&b={b}")
+            print(f"has_link({a}, {b}) -> {payload['has_link']}")
+
+            _, payload = client.request(f"/q/{args.scenario}/links_of?asn={a}")
+            print(f"links_of({a}) -> {payload['count']} peers, "
+                  f"first few {payload['peers'][:5]}")
+
+            _, payload = client.request(f"/q/{args.scenario}/table2")
+            row = payload["rows"][0]
+            print(f"table2 first row -> {row}")
+
+            report = run_load("127.0.0.1", server.port, "has_link",
+                              [f"/q/{args.scenario}/has_link?a={a}&b={b}"],
+                              repeat=200)
+            print(f"load: {report.requests} requests, "
+                  f"p50 {report.p50_us:.0f}us, p99 {report.p99_us:.0f}us, "
+                  f"{report.qps:.0f} q/s")
+
+            _, payload = client.request("/stats")
+            print(f"stats counters -> {payload['counters']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,14 +52,21 @@ class ArtifactCache:
                     with path.open("rb") as handle:
                         payload = pickle.load(handle)
                 except Exception:
-                    # Corrupt or stale (e.g. written by an incompatible
-                    # code version) file: treat as a miss and recompute.
+                    # Truncated or corrupt (e.g. written by an
+                    # incompatible code version, or a partial write that
+                    # predates the atomic-rename protocol): delete the
+                    # entry so the next writer replaces it, and report a
+                    # miss so the caller recomputes.
+                    self._discard(path)
                     return None, None
                 if isinstance(payload, dict) and \
                         payload.get("fingerprint") == fingerprint:
                     value = payload["artifact"]
                     self._memory[key] = value
                     return STATUS_DISK, value
+                # A well-formed pickle with a different fingerprint is a
+                # 32-hex-char prefix collision with another config, not
+                # corruption — leave the other config's entry alone.
         return None, None
 
     def put(self, stage_name: str, fingerprint: str, value: Any,
@@ -70,12 +77,24 @@ class ArtifactCache:
             path = self._disk_path(stage_name, fingerprint)
             # Per-process sidecar name so concurrent writers sharing the
             # directory never interleave into one file; the final rename
-            # is atomic and last-writer-wins with identical content.
+            # (``os.replace`` semantics) is atomic, so a concurrent
+            # reader sees either the old complete file or the new one —
+            # never a truncated pickle.  Last-writer-wins with identical
+            # content.  A failed dump (unpicklable artifact, full disk)
+            # removes the sidecar instead of leaving a partial file
+            # around for a future process id to collide with.
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with tmp.open("wb") as handle:
-                pickle.dump({"fingerprint": fingerprint, "artifact": value},
-                            handle, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path)
+            try:
+                with tmp.open("wb") as handle:
+                    pickle.dump(
+                        {"fingerprint": fingerprint, "artifact": value},
+                        handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except BaseException:
+                self._discard(tmp)
+                raise
+            os.replace(tmp, path)
 
     # -- maintenance ----------------------------------------------------------
 
@@ -89,6 +108,15 @@ class ArtifactCache:
     def _disk_path(self, stage_name: str, fingerprint: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / f"{stage_name}-{fingerprint[:32]}.pkl"
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        """Best-effort unlink (a concurrent process may already have
+        replaced or removed the file — both outcomes are fine)."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def __repr__(self) -> str:
         where = f", dir={self.cache_dir}" if self.cache_dir else ""

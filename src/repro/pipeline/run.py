@@ -241,6 +241,23 @@ class ScenarioRun:
                                self.reachability(),
                                self.analysis_options)["rows"]
 
+    # -- export ---------------------------------------------------------------
+
+    def export_reachability(self, directory: Union[str, Path],
+                            size: Optional[str] = None) -> Path:
+        """Write the reachability matrix (plus Table 2 provenance) as the
+        mmap-able on-disk artifact of :mod:`repro.service.artifact`.
+
+        Runs the pipeline through the reachability/analyses stages if
+        needed, then persists packed member x member planes that any
+        number of query workers can share via ``np.load(mmap_mode="r")``.
+        Returns the artifact directory.
+        """
+        from repro.service.artifact import save_matrix
+        return save_matrix(self.reachability(), directory,
+                           scenario=self.spec.name, size=size,
+                           table2=self.table2())
+
     # -- introspection --------------------------------------------------------
 
     def stage_statuses(self) -> Dict[str, str]:

@@ -58,23 +58,41 @@ def _fragments_nbytes(fragments) -> int:
 
 
 class RouteCache:
-    """Memoised per-origin route fragments, with accounting.
+    """Memoised per-origin route fragments, with accounting and an
+    optional byte-bounded LRU eviction policy.
 
     Dict-shaped (``get``/``[]=``/``len``/``in``/``clear``) so the
     engine's memoisation protocol is unchanged, but every entry is
-    counted: ``entries``/``bytes`` give the current footprint (the
-    growth-without-bound visibility a later eviction policy needs) and
+    counted: ``entries``/``bytes`` give the current footprint and
     ``hits``/``misses`` count :meth:`get` outcomes across the cache's
     lifetime (``clear`` resets the footprint, not the counters).
+
+    With ``max_bytes`` set, the cache evicts least-recently-used
+    entries after every insertion until the accounted footprint fits
+    the budget (``evictions`` counts the casualties).  Recency is the
+    dict's insertion order: a :meth:`get` hit re-inserts the entry at
+    the back, so long daemon runs cycling through many scenarios keep
+    the fragments they actually serve and shed the rest.  The newest
+    entry is never evicted — a single fragment pair larger than the
+    whole budget stays resident until the next insertion displaces it
+    (dropping the value just stored would break the engine's
+    memoisation contract).  ``entries``/``bytes`` stay exact under
+    eviction: every eviction subtracts exactly the bytes its insertion
+    added.
     """
 
-    __slots__ = ("_entries", "bytes", "hits", "misses")
+    __slots__ = ("_entries", "bytes", "hits", "misses", "max_bytes",
+                 "evictions")
 
-    def __init__(self) -> None:
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self._entries: Dict[Tuple, Tuple] = {}
         self.bytes = 0
         self.hits = 0
         self.misses = 0
+        self.max_bytes = max_bytes
+        self.evictions = 0
 
     @property
     def entries(self) -> int:
@@ -86,14 +104,36 @@ class RouteCache:
             self.misses += 1
             return default
         self.hits += 1
+        if self.max_bytes is not None:
+            # LRU touch: move the hit to the back of insertion order.
+            del self._entries[key]
+            self._entries[key] = value
         return value
 
     def __setitem__(self, key, value) -> None:
-        old = self._entries.get(key)
+        old = self._entries.pop(key, None)
         if old is not None:
             self.bytes -= _fragments_nbytes(old)
         self._entries[key] = value
         self.bytes += _fragments_nbytes(value)
+        self._evict()
+
+    def set_max_bytes(self, max_bytes: Optional[int]) -> None:
+        """(Re)configure the byte budget; shrinking evicts immediately."""
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._evict()
+
+    def _evict(self) -> None:
+        if self.max_bytes is None:
+            return
+        entries = self._entries
+        while self.bytes > self.max_bytes and len(entries) > 1:
+            oldest = next(iter(entries))
+            value = entries.pop(oldest)
+            self.bytes -= _fragments_nbytes(value)
+            self.evictions += 1
 
     def __getitem__(self, key):
         return self._entries[key]
@@ -112,14 +152,17 @@ class RouteCache:
         self.bytes = 0
 
     def stats(self) -> Dict[str, int]:
-        """Entry/byte/hit/miss counters as a plain dict."""
+        """Entry/byte/hit/miss/eviction counters as a plain dict."""
         return {"entries": len(self._entries), "bytes": self.bytes,
-                "hits": self.hits, "misses": self.misses}
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "max_bytes": self.max_bytes}
 
     def __repr__(self) -> str:
+        bound = f", max {self.max_bytes}" if self.max_bytes is not None \
+            else ""
         return (f"RouteCache({len(self._entries)} entries, "
-                f"{self.bytes} bytes, {self.hits} hits, "
-                f"{self.misses} misses)")
+                f"{self.bytes} bytes{bound}, {self.hits} hits, "
+                f"{self.misses} misses, {self.evictions} evictions)")
 
 
 class PipelineContext:
@@ -129,6 +172,7 @@ class PipelineContext:
                  backend: str = DEFAULT_BACKEND,
                  inference_backend: str = DEFAULT_INFERENCE_BACKEND,
                  epoch_provider: Optional[Callable[[], Hashable]] = None,
+                 route_cache_max_bytes: Optional[int] = None,
                  ) -> None:
         if backend not in PROPAGATION_BACKENDS:
             raise ValueError(
@@ -157,8 +201,10 @@ class PipelineContext:
         self._propagator: Optional[FrontierPropagator] = None
         self._plan = None
         #: (origin, origin bag, record signature, epoch) -> recorded
-        #: fragments, with entry/byte/hit/miss accounting.
-        self._route_cache = RouteCache()
+        #: fragments, with entry/byte/hit/miss accounting and an
+        #: optional LRU byte budget (long-lived daemon processes bound
+        #: it so route fragments cannot grow without limit).
+        self._route_cache = RouteCache(max_bytes=route_cache_max_bytes)
         #: mutation-epoch provider: a callable returning a hashable
         #: snapshot of the external mutation counters this context's
         #: routes depend on (graph version, route-server versions ...).
@@ -178,10 +224,12 @@ class PipelineContext:
     def from_adjacencies(cls, adjacencies: Iterable[object],
                          backend: str = DEFAULT_BACKEND,
                          inference_backend: str = DEFAULT_INFERENCE_BACKEND,
+                         route_cache_max_bytes: Optional[int] = None,
                          ) -> "PipelineContext":
         """Build a context from directed adjacency records."""
         return cls(CSRIndex.from_adjacencies(adjacencies), backend=backend,
-                   inference_backend=inference_backend)
+                   inference_backend=inference_backend,
+                   route_cache_max_bytes=route_cache_max_bytes)
 
     @classmethod
     def from_graph(cls, graph, rs_community_provider=None,
@@ -334,6 +382,7 @@ class PipelineContext:
             "route_cache_bytes": self._route_cache.bytes,
             "route_cache_hits": self._route_cache.hits,
             "route_cache_misses": self._route_cache.misses,
+            "route_cache_evictions": self._route_cache.evictions,
             "member_indices": len(self._member_indices),
             "inference_plane_entries": len(self._inference_planes),
             "reachability_matrices": len(self._reachability_matrices),

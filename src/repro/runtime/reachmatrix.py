@@ -24,6 +24,7 @@ identical sorted pair tuple.
 
 from __future__ import annotations
 
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
@@ -36,6 +37,13 @@ except ImportError:  # pragma: no cover
 
 #: An inferred MLP link: an ordered (lower ASN, higher ASN) pair.
 Link = Tuple[int, int]
+
+#: The on-wire dtype of packed ALLOW planes: 64-bit little-endian words,
+#: word ``w`` holding member bits ``64*w .. 64*w+63`` (bit ``b`` of the
+#: mask is bit ``b % 64`` of word ``b // 64``).  The explicit ``<``
+#: keeps arrays byte-identical across hosts, which is what lets the
+#: service artifact be mmap'd by any worker that can read the file.
+PACKED_DTYPE = "<u8"
 
 #: The export-policy mode every mask/openness computation branches on
 #: (the other mode, "none-except", is handled by the else arms; the
@@ -62,36 +70,77 @@ def allow_mask_for(mode: str, listed: Iterable[int], index: BitsetIndex,
     return mask
 
 
+def packed_words(size: int) -> int:
+    """Words per packed row for a *size*-member universe (>= 1)."""
+    return max(1, (size + 63) // 64)
+
+
+def pack_mask(mask: int, size: int):
+    """One integer bitmask as a ``(words,)`` :data:`PACKED_DTYPE` row."""
+    assert _np is not None
+    nbytes = packed_words(size) * 8
+    return _np.frombuffer(mask.to_bytes(nbytes, "little"),
+                          dtype=PACKED_DTYPE).copy()
+
+
+def unpack_mask(row) -> int:
+    """The integer bitmask of one packed row (inverse of :func:`pack_mask`)."""
+    return int.from_bytes(_np.ascontiguousarray(row).tobytes(), "little")
+
+
+def pack_rows(rows: Mapping[int, int], size: int):
+    """Integer bitmask rows as a packed ``(size, words)`` uint64 plane.
+
+    Uncovered rows (bits without an entry) pack as all-zero words —
+    exactly how :func:`rows_to_bool_matrix` treated them.
+    """
+    assert _np is not None
+    words = packed_words(size)
+    packed = _np.zeros((size, words), dtype=PACKED_DTYPE)
+    nbytes = words * 8
+    for bit, mask in rows.items():
+        if mask:
+            packed[bit] = _np.frombuffer(
+                mask.to_bytes(nbytes, "little"), dtype=PACKED_DTYPE)
+    return packed
+
+
+def packed_to_bool_matrix(packed, size: int):
+    """Unpack a ``(size, words)`` uint64 plane into a bool matrix.
+
+    One vectorized ``unpackbits`` over the whole plane — no per-row
+    Python-integer traffic, which is what makes this usable directly on
+    an mmap'd artifact plane.
+    """
+    assert _np is not None
+    if size == 0:
+        return _np.zeros((0, 0), dtype=bool)
+    as_bytes = _np.ascontiguousarray(packed).view(_np.uint8)
+    return _np.unpackbits(as_bytes, axis=1, bitorder="little",
+                          count=size).view(bool)
+
+
 def rows_to_bool_matrix(rows: Mapping[int, int], size: int):
     """Unpack integer bitmask rows into an (size x size) numpy bool matrix."""
     assert _np is not None
-    matrix = _np.zeros((size, size), dtype=bool)
-    num_bytes = (size + 7) // 8
-    for bit, mask in rows.items():
-        if not mask:
-            continue
-        packed = _np.frombuffer(
-            mask.to_bytes(num_bytes, "little"), dtype=_np.uint8)
-        matrix[bit] = _np.unpackbits(
-            packed, bitorder="little", count=size).view(bool)
-    return matrix
+    return packed_to_bool_matrix(pack_rows(rows, size), size)
 
 
-def reciprocal_links(rows: Mapping[int, int], universe: Tuple[int, ...],
-                     require_reciprocity: bool = True) -> Tuple[Link, ...]:
-    """The sorted reciprocal-ALLOW pairs of the given ALLOW rows.
+def reciprocal_links_packed(packed, universe: Tuple[int, ...],
+                            require_reciprocity: bool = True
+                            ) -> Tuple[Link, ...]:
+    """:func:`reciprocal_links` over a packed uint64 ALLOW plane.
 
-    With numpy this is the matrix form ``M & M.T`` (or ``M | M.T`` for
-    the paper's no-reciprocity ablation) with the upper triangle read in
-    ascending (row, column) order — which *is* ascending sorted-pair
-    order because the universe is sorted.  The bitmask fallback produces
-    the identical tuple.
+    The kernel the query service runs on mmap'd planes: unpack once,
+    ``M & M.T`` (or ``M | M.T``), read the upper triangle in ascending
+    row-major order — which *is* ascending sorted-pair order because
+    the universe is sorted.
     """
+    assert _np is not None
     size = len(universe)
-    if _np is None or size == 0:
-        return tuple(sorted(reciprocal_pairs(
-            dict(rows), universe, require_reciprocity)))
-    matrix = rows_to_bool_matrix(rows, size)
+    if size == 0:
+        return ()
+    matrix = packed_to_bool_matrix(packed, size)
     if require_reciprocity:
         mutual = matrix & matrix.T
     else:
@@ -101,6 +150,77 @@ def reciprocal_links(rows: Mapping[int, int], universe: Tuple[int, ...],
     rows_idx, cols_idx = _np.nonzero(mutual)
     return tuple((universe[int(i)], universe[int(j)])
                  for i, j in zip(rows_idx, cols_idx) if i < j)
+
+
+def reciprocal_links(rows: Mapping[int, int], universe: Tuple[int, ...],
+                     require_reciprocity: bool = True) -> Tuple[Link, ...]:
+    """The sorted reciprocal-ALLOW pairs of the given ALLOW rows.
+
+    With numpy the rows are packed into a uint64 plane and handed to
+    :func:`reciprocal_links_packed`; the integer-bitmask fallback
+    (:func:`~repro.runtime.bitset.reciprocal_pairs`) produces the
+    identical tuple on installs without numpy.
+    """
+    size = len(universe)
+    if _np is None or size == 0:
+        return tuple(sorted(reciprocal_pairs(
+            dict(rows), universe, require_reciprocity)))
+    return reciprocal_links_packed(
+        pack_rows(rows, size), universe, require_reciprocity)
+
+
+class PackedRows(MappingABC):
+    """A read-only ``Mapping[bit, int-mask]`` view over a packed plane.
+
+    The authoritative data is the ``(members, words)`` uint64 array
+    (usually an mmap of the service artifact); Python integers are
+    materialised lazily per accessed row and memoised, so planes loaded
+    for packed-kernel queries never pay the integer conversion unless
+    object-level code actually asks for a row.  Equality compares like
+    a dict, so loaded planes compare clean against built ones.
+    """
+
+    __slots__ = ("_packed", "_bits", "_bitset", "_cache")
+
+    def __init__(self, packed, bits: Iterable[int]) -> None:
+        self._packed = packed
+        self._bits = tuple(bits)
+        self._bitset = frozenset(self._bits)
+        self._cache: Dict[int, int] = {}
+
+    def __getitem__(self, bit: int) -> int:
+        if bit not in self._bitset:
+            raise KeyError(bit)
+        value = self._cache.get(bit)
+        if value is None:
+            value = unpack_mask(self._packed[bit])
+            self._cache[bit] = value
+        return value
+
+    def __iter__(self):
+        return iter(self._bits)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __contains__(self, bit) -> bool:
+        return bit in self._bitset
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (dict, MappingABC)):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __reduce__(self):
+        # Pickle as a plain in-memory array (an mmap does not travel).
+        return (PackedRows, (_np.asarray(self._packed), self._bits))
+
+    def __repr__(self) -> str:
+        return f"PackedRows({len(self._bits)} rows)"
 
 
 # -- shared link-view derivations ---------------------------------------------
@@ -161,7 +281,10 @@ class ReachabilityPlane:
 
     ixp_name: str
     index: BitsetIndex
-    #: covered member bit -> outgoing ALLOW bitmask.
+    #: covered member bit -> outgoing ALLOW bitmask.  Built planes use a
+    #: plain dict; planes loaded from the service artifact install a
+    #: lazy :class:`PackedRows` view over the mmap'd uint64 plane (the
+    #: two compare equal row-for-row).
     allow_rows: Dict[int, int] = field(default_factory=dict)
     #: covered member bit -> the merged (mode, listed) policy.
     policies: Dict[int, Tuple[str, FrozenSet[int]]] = field(default_factory=dict)
@@ -188,6 +311,12 @@ class ReachabilityPlane:
     observation_counts: Dict[int, int] = field(default_factory=dict)
     _links: Dict[bool, Tuple[Link, ...]] = field(
         default_factory=dict, repr=False, compare=False)
+    #: lazily packed ``(members, words)`` uint64 ALLOW plane (the hot
+    #: representation behind :meth:`links`/:meth:`allows`; mmap'd for
+    #: artifact-loaded planes, packed once from ``allow_rows`` for
+    #: built ones).  Treat the plane as frozen once packed.
+    _packed: Optional[object] = field(
+        default=None, repr=False, compare=False)
 
     # -- geometry ------------------------------------------------------------
 
@@ -210,14 +339,38 @@ class ReachabilityPlane:
         universe = self.index.universe
         return tuple(universe[bit] for bit in iter_bits(self.covered_mask))
 
+    # -- packed representation -----------------------------------------------
+
+    def packed(self):
+        """The ``(members, words)`` :data:`PACKED_DTYPE` ALLOW plane.
+
+        Packed once from ``allow_rows`` and memoised (None without
+        numpy); artifact-loaded planes carry their mmap'd plane from
+        construction and never touch Python integers here.  The plane
+        must not be mutated after the first call.
+        """
+        if self._packed is None and _np is not None:
+            self._packed = pack_rows(self.allow_rows, len(self.index))
+        return self._packed
+
     # -- link inference ------------------------------------------------------
 
     def links(self, require_reciprocity: bool = True) -> Tuple[Link, ...]:
-        """Reciprocal-ALLOW links of this plane (memoised per flag)."""
+        """Reciprocal-ALLOW links of this plane (memoised per flag).
+
+        Runs on the packed uint64 plane when numpy is importable; the
+        integer-bitmask kernel answers identically without it.
+        """
         cached = self._links.get(require_reciprocity)
         if cached is None:
-            cached = reciprocal_links(
-                self.allow_rows, self.index.universe, require_reciprocity)
+            packed = self.packed()
+            if packed is not None:
+                cached = reciprocal_links_packed(
+                    packed, self.index.universe, require_reciprocity)
+            else:
+                cached = reciprocal_links(
+                    self.allow_rows, self.index.universe,
+                    require_reciprocity)
             self._links[require_reciprocity] = cached
         return cached
 
@@ -229,6 +382,9 @@ class ReachabilityPlane:
         peer_bit = self.index.bit_of.get(peer_asn)
         if bit is None or peer_bit is None:
             return False
+        if self._packed is not None:
+            word = self._packed[bit, peer_bit >> 6]
+            return bool(int(word) >> (peer_bit & 63) & 1)
         return bool(self.allow_rows.get(bit, 0) >> peer_bit & 1)
 
     def openness(self, member_asn: int,

@@ -1,0 +1,464 @@
+"""The mmap-able on-disk reachability artifact (schema version 1).
+
+The query daemon must serve has_link / peer-count / density queries
+from N worker processes without N copies of the reachability matrix.
+That forces a stable on-disk schema: every large structure is a plain
+``.npy`` array written in explicit little-endian dtypes and loaded back
+with ``np.load(..., mmap_mode="r")``, so all workers share one
+page-cache copy; everything irregular (policies, provenance sets,
+Table 2 rows) lives in a JSON header small enough to parse per worker.
+
+One artifact is a *directory*::
+
+    header.json               # versioned header — written last (commit)
+    plane_<i>_members.npy     # (M,)   <i8  ascending member ASNs
+    plane_<i>_allow.npy       # (M, W) <u8  packed ALLOW rows (bit b of
+                              #             member j's mask = bit b%64
+                              #             of word b//64, little-endian)
+    plane_<i>_masks.npy       # (4, W) <u8  covered/passive/active/
+                              #             third-party member masks
+    plane_<i>_counts.npy      # (M, 3) <i8  prefixes_observed,
+                              #             inconsistent (-1 = absent),
+                              #             observation_counts (0 = absent)
+    plane_<i>_links.npy       # (L, 2) <i8  the IXP's inferred links
+    links.npy                 # (L, 2) <i8  de-duplicated union, ascending
+    peer_asns.npy             # (P,)   <i8  ASNs with >= 1 link, ascending
+    peer_offsets.npy          # (P+1,) <i8  CSR offsets into neighbors
+    peer_neighbors.npy        # (E,)   <i8  per-AS sorted peer lists
+
+``header.json`` carries ``format``/``version``/``endianness`` plus the
+per-IXP metadata needed to rebuild a bit-identical
+:class:`~repro.runtime.reachmatrix.ReachabilityPlane` (merged policies,
+source/provenance sets, looking-glass query spend) and, optionally, the
+scenario's Table 2 rows so the daemon can answer ``table2`` without the
+pipeline.  The header is written *last* via an atomic rename: a
+directory without a parseable header is not an artifact, so a crashed
+writer can never be mistaken for a complete one.
+
+:func:`verify_identity` asserts bit-identity between an in-memory
+matrix and a loaded artifact — links, per-plane rows, provenance,
+peer counts and Table 2 — and is run by the service warm-up for every
+registered scenario it loads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.runtime.bitset import BitsetIndex, iter_bits
+from repro.runtime.reachmatrix import (
+    PACKED_DTYPE,
+    PackedRows,
+    ReachabilityMatrix,
+    ReachabilityPlane,
+    pack_mask,
+    packed_words,
+    unpack_mask,
+)
+
+try:  # pragma: no cover - exercised via numpy_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+FORMAT_NAME = "repro-reachability-matrix"
+FORMAT_VERSION = 1
+ENDIANNESS = "little"
+
+#: Index dtype of every non-mask array (links, members, CSR).
+INDEX_DTYPE = "<i8"
+
+
+class ArtifactFormatError(RuntimeError):
+    """The directory is not a loadable reachability artifact."""
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise RuntimeError(
+            "the service artifact requires numpy (install repro[numpy]); "
+            "in-process queries remain available via ReachabilityMatrix")
+
+
+# -- saving --------------------------------------------------------------------
+
+
+def _link_csr(links) -> Tuple["_np.ndarray", "_np.ndarray", "_np.ndarray"]:
+    """(peer_asns, peer_offsets, peer_neighbors) adjacency of a link set.
+
+    Both directions of every undirected link, grouped by source ASN
+    (ascending) with each group's peers ascending — so ``has_link`` and
+    ``links_of`` are two ``searchsorted`` calls over mmap'd arrays.
+    """
+    if len(links) == 0:
+        empty = _np.zeros(0, dtype=INDEX_DTYPE)
+        return empty, _np.zeros(1, dtype=INDEX_DTYPE), empty
+    src = _np.concatenate([links[:, 0], links[:, 1]])
+    dst = _np.concatenate([links[:, 1], links[:, 0]])
+    order = _np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    asns = _np.unique(src)
+    offsets = _np.empty(len(asns) + 1, dtype=INDEX_DTYPE)
+    offsets[:-1] = _np.searchsorted(src, asns, side="left")
+    offsets[-1] = len(src)
+    return (asns.astype(INDEX_DTYPE),
+            offsets,
+            dst.astype(INDEX_DTYPE))
+
+
+def _plane_payload(plane: ReachabilityPlane) -> Dict[str, object]:
+    """The JSON-safe metadata of one plane (everything non-columnar)."""
+    return {
+        "name": plane.ixp_name,
+        "num_members": plane.num_members,
+        "words": packed_words(plane.num_members),
+        "active_queries": plane.active_queries,
+        "policies": {str(bit): [mode, sorted(int(v) for v in listed)]
+                     for bit, (mode, listed) in sorted(plane.policies.items())},
+        "sources": {str(bit): sorted(plane.sources[bit])
+                    for bit in sorted(plane.sources)},
+        "passive_members": sorted(int(v) for v in plane.passive_members),
+        "active_members": sorted(int(v) for v in plane.active_members),
+    }
+
+
+def save_matrix(matrix: ReachabilityMatrix,
+                directory: Union[str, Path],
+                *,
+                scenario: Optional[str] = None,
+                size: Optional[str] = None,
+                table2: Optional[List[Dict[str, object]]] = None) -> Path:
+    """Write *matrix* as a version-1 artifact directory; returns its path.
+
+    ``header.json`` is written last (atomic rename), so a reader that
+    finds a parseable header is guaranteed complete column files.
+    Existing artifact files in the directory are overwritten.
+    """
+    _require_numpy()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    ixp_names = sorted(matrix.planes)
+    ixps: List[Dict[str, object]] = []
+    for i, name in enumerate(ixp_names):
+        plane = matrix.planes[name]
+        size_m = plane.num_members
+        words = packed_words(size_m)
+        members = _np.array(plane.index.universe, dtype=INDEX_DTYPE)
+        allow = _np.zeros((size_m, words), dtype=PACKED_DTYPE)
+        packed = plane.packed()
+        if packed is not None:
+            allow[:] = packed
+        masks = _np.stack([
+            pack_mask(plane.covered_mask, size_m),
+            pack_mask(plane.passive_mask, size_m),
+            pack_mask(plane.active_mask, size_m),
+            pack_mask(plane.third_party_mask, size_m),
+        ])
+        counts = _np.full((size_m, 3), -1, dtype=INDEX_DTYPE)
+        counts[:, 2] = 0
+        for bit, value in plane.prefixes_observed.items():
+            counts[bit, 0] = value
+        for bit, value in plane.inconsistent.items():
+            counts[bit, 1] = value
+        for bit, value in plane.observation_counts.items():
+            counts[bit, 2] = value
+        plane_links = _np.array(
+            matrix.links_of(name), dtype=INDEX_DTYPE).reshape(-1, 2)
+        _np.save(directory / f"plane_{i:02d}_members.npy", members)
+        _np.save(directory / f"plane_{i:02d}_allow.npy", allow)
+        _np.save(directory / f"plane_{i:02d}_masks.npy", masks)
+        _np.save(directory / f"plane_{i:02d}_counts.npy", counts)
+        _np.save(directory / f"plane_{i:02d}_links.npy", plane_links)
+        ixps.append(_plane_payload(plane))
+
+    all_links = _np.array(
+        matrix.all_links(), dtype=INDEX_DTYPE).reshape(-1, 2)
+    peer_asns, peer_offsets, peer_neighbors = _link_csr(all_links)
+    _np.save(directory / "links.npy", all_links)
+    _np.save(directory / "peer_asns.npy", peer_asns)
+    _np.save(directory / "peer_offsets.npy", peer_offsets)
+    _np.save(directory / "peer_neighbors.npy", peer_neighbors)
+
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "endianness": ENDIANNESS,
+        "packed_dtype": PACKED_DTYPE,
+        "index_dtype": INDEX_DTYPE,
+        "built_by": matrix.built_by,
+        "scenario": scenario,
+        "size": size,
+        "num_links": int(len(all_links)),
+        "table2": table2,
+        "ixps": ixps,
+    }
+    header_path = directory / "header.json"
+    tmp = header_path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(header, indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, header_path)
+    return directory
+
+
+# -- loading -------------------------------------------------------------------
+
+
+def _load_array(directory: Path, name: str, mmap: bool):
+    path = directory / name
+    if not path.is_file():
+        raise ArtifactFormatError(f"missing artifact column {name}")
+    return _np.load(path, mmap_mode="r" if mmap else None)
+
+
+def _load_plane(directory: Path, i: int, payload: Dict[str, object],
+                mmap: bool) -> ReachabilityPlane:
+    members = _load_array(directory, f"plane_{i:02d}_members.npy", mmap)
+    allow = _load_array(directory, f"plane_{i:02d}_allow.npy", mmap)
+    masks = _load_array(directory, f"plane_{i:02d}_masks.npy", mmap)
+    counts = _load_array(directory, f"plane_{i:02d}_counts.npy", mmap)
+    size = int(payload["num_members"])
+    if members.shape != (size,) or allow.shape != (size,
+                                                   packed_words(size)):
+        raise ArtifactFormatError(
+            f"plane {payload['name']!r} column shapes do not match header")
+    index = BitsetIndex(int(asn) for asn in members)
+    if index.universe != tuple(int(asn) for asn in members):
+        raise ArtifactFormatError(
+            f"plane {payload['name']!r} members are not sorted-unique")
+    covered_mask = unpack_mask(masks[0])
+    row_bits = tuple(iter_bits(covered_mask))
+    prefixes = {int(bit): int(counts[bit, 0]) for bit in range(size)
+                if counts[bit, 0] >= 0}
+    inconsistent = {int(bit): int(counts[bit, 1]) for bit in range(size)
+                    if counts[bit, 1] >= 0}
+    observations = {int(bit): int(counts[bit, 2]) for bit in range(size)
+                    if counts[bit, 2] > 0}
+    return ReachabilityPlane(
+        ixp_name=str(payload["name"]),
+        index=index,
+        allow_rows=PackedRows(allow, row_bits),
+        policies={int(bit): (str(mode), frozenset(listed))
+                  for bit, (mode, listed)
+                  in dict(payload["policies"]).items()},
+        sources={int(bit): frozenset(values)
+                 for bit, values in dict(payload["sources"]).items()},
+        prefixes_observed=prefixes,
+        inconsistent=inconsistent,
+        covered_mask=covered_mask,
+        passive_mask=unpack_mask(masks[1]),
+        active_mask=unpack_mask(masks[2]),
+        third_party_mask=unpack_mask(masks[3]),
+        passive_members=frozenset(int(v)
+                                  for v in payload["passive_members"]),
+        active_members=frozenset(int(v)
+                                 for v in payload["active_members"]),
+        active_queries=int(payload["active_queries"]),
+        observation_counts=observations,
+        _packed=allow,
+    )
+
+
+class ArtifactHandle:
+    """One loaded artifact: the matrix plus mmap'd query indexes.
+
+    ``has_link``/``links_of``/``peer_counts`` run off the CSR arrays
+    (two ``searchsorted`` calls against the mmap), so N daemon workers
+    answering them share one page-cache copy of every column; the
+    density view is derived lazily from the matrix and memoised
+    per process (it is a few hundred floats per IXP).
+    """
+
+    def __init__(self, directory: Path, header: Dict[str, object],
+                 matrix: ReachabilityMatrix, all_links, peer_asns,
+                 peer_offsets, peer_neighbors) -> None:
+        self.directory = directory
+        self.header = header
+        self.matrix = matrix
+        self.all_links = all_links
+        self.peer_asns = peer_asns
+        self.peer_offsets = peer_offsets
+        self.peer_neighbors = peer_neighbors
+        self.scenario = header.get("scenario")
+        self.size = header.get("size")
+        self.table2 = header.get("table2")
+        self._densities: Optional[Dict[str, Dict[int, float]]] = None
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_links(self) -> int:
+        return int(len(self.all_links))
+
+    def _peer_slice(self, asn: int):
+        i = int(_np.searchsorted(self.peer_asns, asn))
+        if i >= len(self.peer_asns) or int(self.peer_asns[i]) != asn:
+            return None
+        return self.peer_neighbors[
+            int(self.peer_offsets[i]):int(self.peer_offsets[i + 1])]
+
+    def has_link(self, a: int, b: int) -> bool:
+        """Whether the ordered/unordered pair (a, b) is an inferred link."""
+        peers = self._peer_slice(int(a))
+        if peers is None:
+            return False
+        j = int(_np.searchsorted(peers, int(b)))
+        return j < len(peers) and int(peers[j]) == int(b)
+
+    def links_of(self, asn: int) -> List[int]:
+        """The sorted MLP peers of *asn* (empty when unknown)."""
+        peers = self._peer_slice(int(asn))
+        if peers is None:
+            return []
+        return [int(p) for p in peers]
+
+    def peer_counts(self) -> Dict[int, int]:
+        """Per-AS distinct peer counts, ascending ASN order."""
+        degrees = _np.diff(self.peer_offsets)
+        return {int(asn): int(degree)
+                for asn, degree in zip(self.peer_asns, degrees)}
+
+    def member_densities(self) -> Dict[str, Dict[int, float]]:
+        """Per-IXP per-member peering densities (figure 12's raw data)."""
+        if self._densities is None:
+            from repro.analysis.density import member_densities
+            self._densities = {
+                name: member_densities(self.matrix.links_of(name),
+                                       plane.index.universe)
+                for name, plane in sorted(self.matrix.planes.items())}
+        return self._densities
+
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers for listings and smoke checks."""
+        return {
+            "scenario": self.scenario,
+            "size": self.size,
+            "ixps": len(self.matrix.planes),
+            "links": self.num_links,
+            "peer_ases": int(len(self.peer_asns)),
+            "built_by": self.matrix.built_by,
+            "has_table2": self.table2 is not None,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ArtifactHandle({self.scenario or self.directory.name}: "
+                f"{self.num_links} links, {len(self.matrix.planes)} planes)")
+
+
+def load_matrix(directory: Union[str, Path],
+                mmap: bool = True) -> ArtifactHandle:
+    """Load an artifact directory (mmap'd by default) into a handle.
+
+    Raises :class:`ArtifactFormatError` on a missing/incompatible
+    header or malformed columns, so a truncated artifact is a clean
+    failure instead of silently wrong answers.
+    """
+    _require_numpy()
+    directory = Path(directory)
+    header_path = directory / "header.json"
+    if not header_path.is_file():
+        raise ArtifactFormatError(f"{directory} has no header.json")
+    try:
+        header = json.loads(header_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ArtifactFormatError(
+            f"unreadable artifact header {header_path}: {error}") from error
+    if header.get("format") != FORMAT_NAME:
+        raise ArtifactFormatError(
+            f"{directory} is not a {FORMAT_NAME} artifact "
+            f"(format={header.get('format')!r})")
+    if header.get("version") != FORMAT_VERSION:
+        raise ArtifactFormatError(
+            f"unsupported artifact version {header.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})")
+    if header.get("endianness") != ENDIANNESS:
+        raise ArtifactFormatError(
+            f"unsupported endianness {header.get('endianness')!r}")
+
+    planes: Dict[str, ReachabilityPlane] = {}
+    links_by_ixp: Dict[str, Tuple[Tuple[int, int], ...]] = {}
+    for i, payload in enumerate(header["ixps"]):
+        plane = _load_plane(directory, i, payload, mmap)
+        planes[plane.ixp_name] = plane
+        plane_links = _load_array(directory, f"plane_{i:02d}_links.npy",
+                                  mmap)
+        links_by_ixp[plane.ixp_name] = tuple(
+            (int(a), int(b)) for a, b in plane_links)
+    matrix = ReachabilityMatrix(planes, links_by_ixp=links_by_ixp,
+                                built_by=str(header.get("built_by",
+                                                        "artifact")))
+    return ArtifactHandle(
+        directory=directory,
+        header=header,
+        matrix=matrix,
+        all_links=_load_array(directory, "links.npy", mmap),
+        peer_asns=_load_array(directory, "peer_asns.npy", mmap),
+        peer_offsets=_load_array(directory, "peer_offsets.npy", mmap),
+        peer_neighbors=_load_array(directory, "peer_neighbors.npy", mmap),
+    )
+
+
+# -- verification --------------------------------------------------------------
+
+
+def verify_identity(matrix: ReachabilityMatrix, handle: ArtifactHandle,
+                    table2: Optional[List[Dict[str, object]]] = None
+                    ) -> List[str]:
+    """Bit-identity check: built matrix vs loaded artifact.
+
+    Returns a list of human-readable mismatch descriptions (empty ==
+    identical).  Covers the acceptance surface: per-plane ALLOW rows,
+    policies, provenance masks/sets, observation counts, per-IXP and
+    global link sets, peer counts (both the matrix view and the CSR
+    view) and — when the expected rows are supplied — Table 2.
+    """
+    problems: List[str] = []
+    loaded = handle.matrix
+    if sorted(matrix.planes) != sorted(loaded.planes):
+        return [f"IXP sets differ: {sorted(matrix.planes)} vs "
+                f"{sorted(loaded.planes)}"]
+    for name in sorted(matrix.planes):
+        mine, theirs = matrix.planes[name], loaded.planes[name]
+        checks = [
+            ("universe", mine.index.universe, theirs.index.universe),
+            ("allow_rows", dict(mine.allow_rows), dict(theirs.allow_rows)),
+            ("policies", mine.policies, theirs.policies),
+            ("sources", mine.sources, theirs.sources),
+            ("covered_mask", mine.covered_mask, theirs.covered_mask),
+            ("passive_mask", mine.passive_mask, theirs.passive_mask),
+            ("active_mask", mine.active_mask, theirs.active_mask),
+            ("third_party_mask", mine.third_party_mask,
+             theirs.third_party_mask),
+            ("passive_members", mine.passive_members,
+             theirs.passive_members),
+            ("active_members", mine.active_members, theirs.active_members),
+            ("prefixes_observed", mine.prefixes_observed,
+             theirs.prefixes_observed),
+            ("inconsistent", mine.inconsistent, theirs.inconsistent),
+            ("observation_counts", mine.observation_counts,
+             theirs.observation_counts),
+            ("active_queries", mine.active_queries, theirs.active_queries),
+            ("links", mine.links(), theirs.links()),
+        ]
+        problems.extend(f"plane {name}: {field} differs"
+                        for field, a, b in checks if a != b)
+    if matrix.links_by_ixp() != loaded.links_by_ixp():
+        problems.append("links_by_ixp differs")
+    if matrix.all_links() != loaded.all_links():
+        problems.append("all_links differs")
+    if matrix.all_links() != tuple((int(a), int(b))
+                                   for a, b in handle.all_links):
+        problems.append("links.npy differs from all_links")
+    if matrix.multi_ixp_links() != loaded.multi_ixp_links():
+        problems.append("multi_ixp_links differs")
+    if matrix.link_ixps() != loaded.link_ixps():
+        problems.append("link_ixps (provenance) differs")
+    if matrix.peer_counts() != loaded.peer_counts():
+        problems.append("peer_counts differs")
+    if matrix.peer_counts() != handle.peer_counts():
+        problems.append("CSR peer_counts differs")
+    if table2 is not None and handle.table2 != table2:
+        problems.append("table2 differs")
+    return problems

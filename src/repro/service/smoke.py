@@ -1,0 +1,159 @@
+"""CI smoke check: boot the daemon, hit every endpoint, diff goldens.
+
+Warms the requested scenario at the golden (tiny) size — which already
+asserts bit-identity between the in-memory matrix and the mmap-loaded
+artifact — then starts the HTTP server on an ephemeral port and drives
+every public endpoint over a real socket:
+
+- ``table2`` rows must equal the golden pin,
+- the link set reconstructed from per-AS ``links_of`` responses must
+  hash to the golden ``links_sha256`` (and match the pinned list),
+- ``has_link`` must agree with the golden set on sampled members and
+  non-members,
+- ``peer_counts`` must be consistent with ``links_of`` lengths and sum
+  to twice the link count,
+- ``member_densities`` must match the direct artifact computation,
+- ``health``/``scenarios``/``stats`` must report the scenario and the
+  request counters.
+
+Any mismatch raises, so the process exits non-zero — wire it into CI
+as ``python -m repro.service.smoke``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.service.daemon import ServerThread, warm_service
+from repro.service.loadgen import HttpClient
+
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "goldens"
+
+
+def links_digest(links) -> str:
+    """sha256 over the canonical JSON link-list form (the golden pin)."""
+    payload = json.dumps([[int(a), int(b)] for a, b in links],
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def run_smoke(scenario: str = "europe2013", size: str = "tiny",
+              golden_dir: Path = GOLDEN_DIR,
+              artifact_root: Optional[Path] = None) -> dict:
+    """End-to-end daemon check against the goldens; returns a summary."""
+    golden_path = golden_dir / f"{scenario}.json"
+    _check(golden_path.is_file(), f"no golden pin at {golden_path}")
+    golden = json.loads(golden_path.read_text())
+    _check(golden.get("size", size) == size,
+           f"golden pin is for size {golden.get('size')!r}, not {size!r}")
+    golden_links = {(a, b) for a, b in golden["links"]}
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        root = artifact_root or Path(tmp) / "artifacts"
+        service, _dirs = warm_service([scenario], size=size,
+                                      artifact_root=root, verify=True)
+        handle = service.handles[scenario]
+        with ServerThread(service) as server, \
+                HttpClient("127.0.0.1", server.port) as client:
+            status, payload = client.request("/health")
+            _check(status == 200 and scenario in payload["scenarios"],
+                   f"/health: {status} {payload}")
+
+            status, payload = client.request(f"/q/{scenario}/table2")
+            _check(status == 200, f"table2: HTTP {status}")
+            _check(payload["rows"] == golden["table2"],
+                   "table2 rows diverge from the golden pin")
+
+            status, payload = client.request(f"/q/{scenario}/peer_counts")
+            _check(status == 200, f"peer_counts: HTTP {status}")
+            counts = {int(asn): count
+                      for asn, count in payload["counts"].items()}
+            _check(sum(counts.values()) == 2 * len(golden_links),
+                   "peer_counts do not sum to twice the golden link count")
+
+            # Reconstruct the full link set through links_of and diff it
+            # against the golden pin (list + sha256 digest).
+            served = set()
+            for asn in sorted(counts):
+                status, payload = client.request(
+                    f"/q/{scenario}/links_of?asn={asn}")
+                _check(status == 200, f"links_of({asn}): HTTP {status}")
+                _check(len(payload["peers"]) == counts[asn],
+                       f"links_of({asn}) disagrees with peer_counts")
+                served.update((min(asn, peer), max(asn, peer))
+                              for peer in payload["peers"])
+            ordered = sorted(served)
+            _check(ordered == sorted(golden_links),
+                   "link set served by links_of diverges from the golden")
+            _check(links_digest(ordered) == golden["links_sha256"],
+                   "served link-set digest diverges from links_sha256")
+
+            # has_link on sampled members and guaranteed non-members.
+            sample = ordered[:: max(1, len(ordered) // 50)]
+            for a, b in sample:
+                status, payload = client.request(
+                    f"/q/{scenario}/has_link?a={a}&b={b}")
+                _check(status == 200 and payload["has_link"] is True,
+                       f"has_link({a},{b}) should be true")
+                status, payload = client.request(
+                    f"/q/{scenario}/has_link?a={b}&b={a}")
+                _check(payload["has_link"] is True,
+                       f"has_link must be symmetric for ({a},{b})")
+            members = sorted(counts)
+            non_links = [(a, b) for a in members[:20] for b in members[:20]
+                         if a < b and (a, b) not in golden_links][:25]
+            for a, b in non_links:
+                status, payload = client.request(
+                    f"/q/{scenario}/has_link?a={a}&b={b}")
+                _check(payload["has_link"] is False,
+                       f"has_link({a},{b}) should be false")
+
+            status, payload = client.request(
+                f"/q/{scenario}/member_densities")
+            _check(status == 200, f"member_densities: HTTP {status}")
+            direct = handle.member_densities()
+            served_densities = {
+                ixp: {int(asn): value for asn, value in per.items()}
+                for ixp, per in payload["densities"].items()}
+            _check(served_densities == direct,
+                   "member_densities diverge from the direct computation")
+
+            status, payload = client.request("/stats")
+            _check(status == 200 and payload["counters"]["links_of"]
+                   == len(counts), f"/stats counters wrong: {payload}")
+
+    return {
+        "scenario": scenario,
+        "size": size,
+        "links": len(golden_links),
+        "ases": len(counts),
+        "has_link_checked": 2 * len(sample) + len(non_links),
+        "ixps": len(direct),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="europe2013")
+    parser.add_argument("--size", default="tiny")
+    parser.add_argument("--golden-dir", type=Path, default=GOLDEN_DIR)
+    args = parser.parse_args(argv)
+    summary = run_smoke(args.scenario, size=args.size,
+                        golden_dir=args.golden_dir)
+    print(f"[repro.service.smoke] OK: {summary}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

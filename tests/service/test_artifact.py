@@ -1,0 +1,129 @@
+"""On-disk reachability artifact: round trips, bit-identity, tampering.
+
+The schema's contract is *bit-identity*: an artifact written by
+:func:`save_matrix` and loaded back through ``np.load(mmap_mode="r")``
+must answer every matrix-level question — allow planes, provenance
+masks, counts, link sets, Table 2 — exactly like the in-memory build it
+came from, on every registered scenario.
+"""
+
+import json
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.pipeline import ArtifactCache, ScenarioRun
+from repro.runtime.reachmatrix import (
+    PackedRows,
+    pack_mask,
+    pack_rows,
+    packed_to_bool_matrix,
+    packed_words,
+    unpack_mask,
+)
+from repro.scenarios import scenario_names
+from repro.scenarios.spec import get_scenario
+from repro.service.artifact import (
+    FORMAT_VERSION,
+    ArtifactFormatError,
+    load_matrix,
+    save_matrix,
+    verify_identity,
+)
+
+#: One shared cache: upstream stages (topology .. connectivity) are
+#: reused across the per-scenario round-trip tests.
+_CACHE = ArtifactCache()
+
+
+def build(name: str) -> ScenarioRun:
+    spec = get_scenario(name)
+    return ScenarioRun(spec.config("tiny"), scenario=name, cache=_CACHE)
+
+
+class TestPackedMasks:
+    def test_mask_round_trip_random(self):
+        rng = np.random.default_rng(7)
+        for size in (1, 63, 64, 65, 200):
+            for _ in range(20):
+                mask = int.from_bytes(
+                    rng.integers(0, 256, (size + 7) // 8,
+                                 dtype=np.uint8).tobytes(),
+                    "little") & ((1 << size) - 1)
+                row = pack_mask(mask, size)
+                assert row.shape == (packed_words(size),)
+                assert unpack_mask(row) == mask
+
+    def test_rows_to_matrix_round_trip(self):
+        size = 130
+        rows = {3: (1 << 5) | (1 << 127), 7: (1 << 3)}
+        packed = pack_rows(rows, size)
+        dense = packed_to_bool_matrix(packed, size)
+        assert dense.shape == (size, size)
+        assert dense[3, 5] and dense[3, 127] and dense[7, 3]
+        assert int(dense.sum()) == 3
+        view = PackedRows(packed, tuple(sorted(rows)))
+        assert dict(view) == rows
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_round_trip_is_bit_identical(name, tmp_path):
+    run = build(name)
+    directory = run.export_reachability(tmp_path / name, size="tiny")
+    for mmap in (True, False):
+        handle = load_matrix(directory, mmap=mmap)
+        problems = verify_identity(run.reachability(), handle,
+                                   table2=run.table2())
+        assert problems == [], f"{name} (mmap={mmap}): {problems}"
+        assert handle.scenario == name
+        assert handle.size == "tiny"
+
+
+class TestTampering:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        run = build("europe2013")
+        return run.export_reachability(
+            tmp_path_factory.mktemp("artifact") / "europe2013")
+
+    def _patched(self, artifact, tmp_path, **overrides):
+        import shutil
+        clone = tmp_path / "clone"
+        shutil.copytree(artifact, clone)
+        header = json.loads((clone / "header.json").read_text())
+        header.update(overrides)
+        (clone / "header.json").write_text(json.dumps(header))
+        return clone
+
+    def test_future_version_is_rejected(self, artifact, tmp_path):
+        clone = self._patched(artifact, tmp_path,
+                              version=FORMAT_VERSION + 1)
+        with pytest.raises(ArtifactFormatError, match="version"):
+            load_matrix(clone)
+
+    def test_wrong_endianness_is_rejected(self, artifact, tmp_path):
+        clone = self._patched(artifact, tmp_path, endianness="big")
+        with pytest.raises(ArtifactFormatError, match="endian"):
+            load_matrix(clone)
+
+    def test_wrong_format_name_is_rejected(self, artifact, tmp_path):
+        clone = self._patched(artifact, tmp_path, format="something-else")
+        with pytest.raises(ArtifactFormatError, match="format"):
+            load_matrix(clone)
+
+    def test_missing_header_is_rejected(self, artifact, tmp_path):
+        import shutil
+        clone = tmp_path / "clone"
+        shutil.copytree(artifact, clone)
+        (clone / "header.json").unlink()
+        with pytest.raises(ArtifactFormatError, match="header"):
+            load_matrix(clone)
+
+    def test_missing_plane_file_is_rejected(self, artifact, tmp_path):
+        import shutil
+        clone = tmp_path / "clone"
+        shutil.copytree(artifact, clone)
+        (clone / "plane_00_allow.npy").unlink()
+        with pytest.raises(ArtifactFormatError):
+            load_matrix(clone)

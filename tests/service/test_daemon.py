@@ -1,0 +1,184 @@
+"""Query daemon: dispatch semantics, HTTP front, warm-up, load client."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.service.artifact import load_matrix
+from repro.service.daemon import (
+    ENDPOINTS,
+    QueryService,
+    ServerThread,
+    warm_service,
+)
+from repro.service.loadgen import HttpClient, percentile, run_load
+
+
+@pytest.fixture(scope="module")
+def warm(tmp_path_factory):
+    root = tmp_path_factory.mktemp("artifacts")
+    service, directories = warm_service(["europe2013"], size="tiny",
+                                        artifact_root=root, verify=True)
+    return service, directories
+
+
+class TestDispatch:
+    def test_health_and_scenarios(self, warm):
+        service, _ = warm
+        status, payload = service.dispatch("/health")
+        assert status == 200 and payload["scenarios"] == ["europe2013"]
+        status, payload = service.dispatch("/scenarios")
+        assert payload["scenarios"]["europe2013"]["has_table2"] is True
+
+    def test_has_link_matches_artifact(self, warm):
+        service, _ = warm
+        handle = service.handles["europe2013"]
+        a, b = (int(x) for x in handle.all_links[0])
+        status, payload = service.dispatch(
+            f"/q/europe2013/has_link?a={a}&b={b}")
+        assert (status, payload["has_link"]) == (200, True)
+        status, payload = service.dispatch(
+            f"/q/europe2013/has_link?a={b}&b={a}")
+        assert payload["has_link"] is True  # symmetric
+        status, payload = service.dispatch(
+            "/q/europe2013/has_link?a=1&b=2")
+        assert payload["has_link"] is False
+
+    def test_links_of_and_peer_counts_agree(self, warm):
+        service, _ = warm
+        handle = service.handles["europe2013"]
+        asn = int(handle.peer_asns[0])
+        status, payload = service.dispatch(
+            f"/q/europe2013/links_of?asn={asn}")
+        assert status == 200
+        assert payload["peers"] == handle.links_of(asn)
+        status, counts = service.dispatch("/q/europe2013/peer_counts")
+        assert counts["counts"][str(asn)] == payload["count"]
+        assert sum(counts["counts"].values()) == 2 * handle.num_links
+
+    def test_table2_and_densities(self, warm):
+        service, _ = warm
+        handle = service.handles["europe2013"]
+        status, payload = service.dispatch("/q/europe2013/table2")
+        assert (status, payload["rows"]) == (200, handle.table2)
+        status, payload = service.dispatch("/q/europe2013/member_densities")
+        assert status == 200
+        direct = handle.member_densities()
+        assert {ixp: {int(a): v for a, v in per.items()}
+                for ixp, per in payload["densities"].items()} == direct
+
+    def test_error_paths(self, warm):
+        service, _ = warm
+        assert service.dispatch("/q/nope/table2")[0] == 404
+        assert service.dispatch("/q/europe2013/nope")[0] == 404
+        assert service.dispatch("/bogus")[0] == 404
+        status, payload = service.dispatch("/q/europe2013/has_link?a=1")
+        assert (status, "missing" in payload["error"]) == (400, True)
+        status, payload = service.dispatch("/q/europe2013/has_link?a=x&b=1")
+        assert status == 400
+
+    def test_stats_counts_requests(self, warm):
+        service, _ = warm
+        before = service.counters.get("summary", 0)
+        service.dispatch("/q/europe2013/summary")
+        status, payload = service.dispatch("/stats")
+        assert payload["counters"]["summary"] == before + 1
+        assert payload["counters"]["bad_request"] >= 1
+
+    def test_workers_share_artifacts_by_directory(self, warm):
+        # What each forked worker does: re-load the exported artifact
+        # directories (mmap) without touching the pipeline.
+        _, directories = warm
+        worker = QueryService.from_artifacts(directories)
+        assert worker.scenario_names() == ["europe2013"]
+        status, payload = worker.dispatch("/q/europe2013/summary")
+        assert (status, payload["scenario"]) == (200, "europe2013")
+
+
+class TestHttpFront:
+    def test_endpoints_over_real_socket(self, warm):
+        service, _ = warm
+        handle = service.handles["europe2013"]
+        a, b = (int(x) for x in handle.all_links[0])
+        with ServerThread(service) as server:
+            url = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{url}/health", timeout=10) as resp:
+                assert resp.status == 200
+                assert json.load(resp)["scenarios"] == ["europe2013"]
+            # keep-alive client: several requests on one connection
+            with HttpClient("127.0.0.1", server.port) as client:
+                status, payload = client.request(
+                    f"/q/europe2013/has_link?a={a}&b={b}")
+                assert (status, payload["has_link"]) == (200, True)
+                status, payload = client.request("/q/europe2013/table2")
+                assert payload["rows"] == handle.table2
+                status, payload = client.request("/q/europe2013/bogus")
+                assert status == 404
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(
+                    f"{url}/q/europe2013/has_link?a=x&b=1", timeout=10)
+            assert info.value.code == 400
+
+    def test_load_generator_reports_latencies(self, warm):
+        service, _ = warm
+        with ServerThread(service) as server:
+            report = run_load("127.0.0.1", server.port, "summary",
+                              ["/q/europe2013/summary"], repeat=25)
+        assert report.requests == 25
+        assert report.errors == 0
+        assert 0 < report.p50_us <= report.p99_us
+        assert report.qps > 0
+        row = report.row()
+        assert set(row) == {"endpoint", "requests", "errors",
+                            "p50_us", "p99_us", "qps"}
+
+
+class TestWarmService:
+    def test_artifacts_land_under_root_and_reload(self, warm, tmp_path):
+        _, directories = warm
+        (directory,) = directories
+        assert directory.name == "europe2013-tiny"
+        handle = load_matrix(directory)
+        assert handle.scenario == "europe2013"
+
+    def test_verify_catches_doctored_artifacts(self, tmp_path):
+        # Flip one packed word on disk; warm-up with verify=True must
+        # refuse to serve the doctored artifact.
+        service, (directory,) = warm_service(
+            ["europe2013"], size="tiny",
+            artifact_root=tmp_path / "a", verify=False)
+        allow = np.load(directory / "plane_00_allow.npy")
+        allow[0, 0] ^= 1
+        np.save(directory / "plane_00_allow.npy", allow)
+        from repro.pipeline import ScenarioRun
+        from repro.scenarios.spec import get_scenario
+        from repro.service.artifact import verify_identity
+        run = ScenarioRun(get_scenario("europe2013").config("tiny"),
+                          scenario="europe2013")
+        problems = verify_identity(run.reachability(),
+                                   load_matrix(directory),
+                                   table2=run.table2())
+        assert problems
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_endpoint_list_is_stable(self):
+        assert ENDPOINTS == ("has_link", "links_of", "peer_counts",
+                             "member_densities", "table2", "summary")
