@@ -181,6 +181,70 @@ def run_scenario_matrix(size: str = "tiny",
     return rows
 
 
+def run_build_matrix(size: str = "tiny",
+                     bench_scenario: str = "europe2013",
+                     reps: int = BENCH_REPS) -> list[dict]:
+    """Cold per-stage build cost for every registered scenario.
+
+    Every scenario is built through the ``reachability`` artifact at
+    *size*; *bench_scenario* additionally at the ``bench`` size (the
+    columnar observation plane's acceptance target).  Each repetition
+    uses a **fresh** :class:`ArtifactCache` — memory-only, so every
+    stage genuinely computes — and the row records the best cache-cold
+    end-to-end wall seconds plus that repetition's per-stage split from
+    ``run.events``.  The split makes observation-plane regressions
+    attributable (collectors vs viewpoints vs propagation vs inference)
+    and the end-to-end number rides the same >25% regression gate as
+    the bench modules.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.pipeline import ArtifactCache, ScenarioRun
+    from repro.scenarios import scenario_names
+    from repro.scenarios.spec import get_scenario
+
+    jobs = [(name, size) for name in scenario_names()]
+    jobs.append((bench_scenario, "bench"))
+    rows: list[dict] = []
+    for name, job_size in jobs:
+        spec = get_scenario(name)
+
+        def one_build():
+            run = ScenarioRun(spec.config(job_size), scenario=name,
+                              cache=ArtifactCache())
+            started = time.monotonic()
+            run.artifact("reachability")
+            total = time.monotonic() - started
+            stages: dict[str, float] = {}
+            for event in run.events:
+                stages[event.stage] = \
+                    stages.get(event.stage, 0.0) + event.seconds
+            return total, stages
+
+        one_build()  # warmup: imports, interner pools, jit state
+        best_total = float("inf")
+        best_stages: dict[str, float] = {}
+        for _ in range(max(1, reps)):
+            total, stages = one_build()
+            if total < best_total:
+                best_total, best_stages = total, stages
+        row = {
+            "scenario": name,
+            "size": job_size,
+            "reps": max(1, reps),
+            "end_to_end_seconds": round(best_total, 4),
+            "stage_seconds": {stage: round(seconds, 4)
+                              for stage, seconds in best_stages.items()},
+        }
+        top = sorted(best_stages.items(), key=lambda kv: -kv[1])[:3]
+        print(f"[run_all] build {name} ({job_size}): "
+              f"{row['end_to_end_seconds']}s cold ("
+              + ", ".join(f"{stage} {seconds:.3f}s"
+                          for stage, seconds in top)
+              + ")", flush=True)
+        rows.append(row)
+    return rows
+
+
 #: Propagation backends timed by the backend matrix, slowest first.
 MATRIX_BACKENDS = ("frontier", "batched", "compiled")
 
@@ -678,11 +742,14 @@ def find_previous_trajectory(exclude: Path) -> Path | None:
     return candidates[-1][1] if candidates else None
 
 
-def compare_with_previous(results: list[dict], previous_path: Path) -> list[str]:
-    """Print per-bench deltas against *previous_path*.
+def compare_with_previous(results: list[dict], previous_path: Path,
+                          build_rows: list[dict] | None = None) -> list[str]:
+    """Print per-bench (and per-scenario cold-build) deltas against
+    *previous_path*.
 
     Returns warning lines (also printed) for benches whose wall time or
-    peak RSS regressed more than :data:`REGRESSION_THRESHOLD`.
+    peak RSS — or build rows whose cache-cold end-to-end seconds —
+    regressed more than :data:`REGRESSION_THRESHOLD`.
     """
     try:
         previous = json.loads(previous_path.read_text())
@@ -719,6 +786,25 @@ def compare_with_previous(results: list[dict], previous_path: Path) -> list[str]
                        f">{REGRESSION_THRESHOLD:.0%}: {'; '.join(regressed)}")
             print(warning)
             warnings.append(warning)
+
+    build_baseline = {(row["scenario"], row["size"]): row
+                      for row in previous.get("build_matrix", [])}
+    for row in build_rows or []:
+        key = (row["scenario"], row["size"])
+        base = build_baseline.get(key)
+        if base is None:
+            continue
+        now, then = row["end_to_end_seconds"], base["end_to_end_seconds"]
+        ratio = ((now - then) / then) if then else 0.0
+        print(f"[run_all]   build {row['scenario']} ({row['size']}) "
+              f"{now - then:+.3f}s ({ratio:+.1%})")
+        if then and ratio > REGRESSION_THRESHOLD:
+            warning = (f"[run_all] WARNING: build {row['scenario']} "
+                       f"({row['size']}) regressed "
+                       f">{REGRESSION_THRESHOLD:.0%}: {then} -> {now} "
+                       f"({ratio:+.1%})")
+            print(warning)
+            warnings.append(warning)
     return warnings
 
 
@@ -732,6 +818,9 @@ def main() -> int:
                         help="per-bench timeout in seconds")
     parser.add_argument("--skip-scenario-matrix", action="store_true",
                         help="do not run the per-scenario tiny matrix")
+    parser.add_argument("--skip-build-matrix", action="store_true",
+                        help="do not run the cache-cold per-stage build "
+                             "matrix")
     parser.add_argument("--skip-backend-matrix", action="store_true",
                         help="do not run the propagation backend matrix "
                              "(frontier vs batched vs compiled)")
@@ -766,6 +855,10 @@ def main() -> int:
     if not args.skip_scenario_matrix:
         scenario_rows = run_scenario_matrix(args.matrix_size)
 
+    build_rows: list[dict] = []
+    if not args.skip_build_matrix:
+        build_rows = run_build_matrix(args.matrix_size)
+
     backend_rows: list[dict] = []
     if not args.skip_backend_matrix:
         backend_rows = run_backend_matrix(args.matrix_size)
@@ -791,6 +884,7 @@ def main() -> int:
         "platform": platform.platform(),
         "benches": results,
         "scenarios": scenario_rows,
+        "build_matrix": build_rows,
         "backend_matrix": backend_rows,
         "inference_matrix": inference_rows,
         "delta_matrix": delta_rows,
@@ -801,7 +895,7 @@ def main() -> int:
 
     warnings: list[str] = []
     if previous_path is not None:
-        warnings = compare_with_previous(results, previous_path)
+        warnings = compare_with_previous(results, previous_path, build_rows)
     else:
         print("[run_all] no previous trajectory to compare against")
 

@@ -29,16 +29,31 @@ class ASPath:
     same order used in ``show ip bgp`` output and MRT dumps.
     """
 
-    __slots__ = ("_asns",)
+    __slots__ = ("_asns", "_clean")
 
     def __init__(self, asns: Sequence[int] = ()) -> None:
         object.__setattr__(self, "_asns", tuple(int(a) for a in asns))
+        object.__setattr__(self, "_clean", None)
 
     @classmethod
     def parse(cls, text: str) -> "ASPath":
         """Parse a whitespace-separated AS path string."""
         tokens = text.split()
         return cls([int(token) for token in tokens])
+
+    @classmethod
+    def from_tuple(cls, asns: Tuple[int, ...]) -> "ASPath":
+        """Wrap an already-validated tuple of ints without re-coercing.
+
+        The columnar observation plane materialises paths from interned
+        column tuples whose elements are Python ints by construction;
+        skipping the per-element ``int()`` pass there is measurable at
+        RIB-dump scale.
+        """
+        path = cls.__new__(cls)
+        object.__setattr__(path, "_asns", asns)
+        object.__setattr__(path, "_clean", None)
+        return path
 
     # -- accessors ---------------------------------------------------------
 
@@ -90,6 +105,8 @@ class ASPath:
     def has_cycle(self) -> bool:
         """True if a non-consecutive ASN repetition exists (a routing loop
         or path poisoning artefact, as opposed to benign prepending)."""
+        if len(set(self._asns)) == len(self._asns):
+            return False
         deduped = self.deduplicated()
         return len(deduped.unique_asns()) != len(deduped)
 
@@ -99,8 +116,17 @@ class ASPath:
 
     def is_clean(self) -> bool:
         """True if the path passes the paper's sanity filters: non-empty,
-        no reserved/private ASNs, no cycles."""
-        return bool(self._asns) and not self.has_reserved_asn() and not self.has_cycle()
+        no reserved/private ASNs, no cycles.
+
+        Memoised per path object: paths are shared across RIB entries and
+        days by the observation plane (one ``ASPath`` per interned path
+        id), so repeated cleanliness checks are dict-free cache hits."""
+        cached = self._clean
+        if cached is None:
+            cached = bool(self._asns) and not self.has_reserved_asn() \
+                and not self.has_cycle()
+            object.__setattr__(self, "_clean", cached)
+        return cached
 
     def links(self) -> List[Tuple[int, int]]:
         """Adjacent AS pairs on the (deduplicated) path, as sorted tuples."""

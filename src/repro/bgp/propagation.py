@@ -50,6 +50,7 @@ from repro.bgp.communities import Community
 from repro.bgp.policy import Relationship
 from repro.bgp.prefix import Prefix
 from repro.runtime.fragments import (
+    ObservationIndex,
     PathTable,
     RouteBlock,
     block_from_columns,
@@ -219,7 +220,12 @@ class PropagationResult:
         #: True while every recorded fragment is a RouteBlock (the
         #: precondition for the columnar fast paths).
         self._columnar = True
-        self._observer_rows: Optional[Tuple[int, Dict]] = None
+        #: (record count, ObservationIndex) — the per-(observer, origin)
+        #: CSR index over the block records, built on first use.
+        self._obs_index: Optional[Tuple[int, ObservationIndex]] = None
+        #: ((record count, origin count), origin -> position, aligned)
+        self._origin_pos: Optional[Tuple[Tuple[int, int],
+                                         Optional[Dict[int, int]], bool]] = None
 
     # -- population (used by the engine) ------------------------------------
 
@@ -257,19 +263,87 @@ class PropagationResult:
         """Fold pending fragments into the per-observer dicts.
 
         Rows are materialised in recording order, so observer/origin
-        dict insertion orders are identical to the eager path.
+        dict insertion orders are identical to the eager path.  Runs of
+        block-backed recordings are folded with one grouped pass per
+        side (sort by observer, visit groups in first-appearance order)
+        instead of a ``dict.setdefault`` per route; list-backed
+        recordings fall back to the route-by-route fold, flushing any
+        accumulated blocks first so overall recording order holds.
         """
         if not self._pending:
             return
         pending, self._pending = self._pending, []
         best_index = self._best
         alt_index = self._alternatives
+        batch: List[Tuple[int, RouteBlock, RouteBlock]] = []
         for origin, best, offered in pending:
+            if np is not None and isinstance(best, RouteBlock) \
+                    and isinstance(offered, RouteBlock):
+                batch.append((origin, best, offered))
+                continue
+            if batch:
+                self._fold_block_batch(batch)
+                batch = []
             for route in best:
                 best_index.setdefault(route.asn, {})[origin] = route
             for route in offered:
                 alt_index.setdefault(route.asn, {}).setdefault(
                     origin, []).append(route)
+        if batch:
+            self._fold_block_batch(batch)
+
+    def _fold_block_batch(
+            self, batch: List[Tuple[int, RouteBlock, RouteBlock]]) -> None:
+        """Grouped dict fold of consecutive block-backed recordings.
+
+        Equivalent to the route-by-route fold: per side, rows are
+        grouped by observer with one stable sort over the concatenated
+        ``asn`` columns, observers are visited in first-appearance
+        (concatenation) order, and each group's rows arrive in
+        ``(record, row)`` order — reproducing every dict insertion
+        order, including last-write-wins on duplicate keys.
+        """
+        origins = [origin for origin, _best, _offered in batch]
+        for side, target in ((1, self._best), (2, self._alternatives)):
+            blocks = [record[side] for record in batch]
+            parts = [i for i, block in enumerate(blocks) if len(block.asn)]
+            if not parts:
+                continue
+            routes = {i: blocks[i].routes_list() for i in parts}
+            asn = np.concatenate([blocks[i].asn for i in parts])
+            pos = np.repeat(np.asarray(parts, dtype=np.int64),
+                            [len(blocks[i].asn) for i in parts])
+            row = np.concatenate([np.arange(len(blocks[i].asn),
+                                            dtype=np.int64) for i in parts])
+            order = np.argsort(asn, kind="stable")
+            asn_s = asn[order].tolist()
+            pos_s = pos[order].tolist()
+            row_s = row[order].tolist()
+            change = np.nonzero(asn[order][1:] != asn[order][:-1])[0] + 1
+            starts = np.concatenate(([0], change))
+            ends = np.concatenate((change, [len(asn_s)]))
+            visit = np.argsort(order[starts], kind="stable")
+            if side == 1:
+                for g in visit.tolist():
+                    observer = asn_s[starts[g]]
+                    inner = target.get(observer)
+                    if inner is None:
+                        inner = target[observer] = {}
+                    for i in range(starts[g], ends[g]):
+                        p = pos_s[i]
+                        inner[origins[p]] = routes[p][row_s[i]]
+            else:
+                for g in visit.tolist():
+                    observer = asn_s[starts[g]]
+                    inner = target.get(observer)
+                    if inner is None:
+                        inner = target[observer] = {}
+                    for i in range(starts[g], ends[g]):
+                        p = pos_s[i]
+                        candidates = inner.get(origins[p])
+                        if candidates is None:
+                            candidates = inner[origins[p]] = []
+                        candidates.append(routes[p][row_s[i]])
 
     # -- read API ------------------------------------------------------------
 
@@ -302,8 +376,54 @@ class PropagationResult:
         self._ensure_indexed()
         return list(self._best)
 
+    def _observation_index(self) -> Optional[ObservationIndex]:
+        """The per-(observer, origin) CSR index over the block records,
+        built once per record-count and rebuilt only when more
+        fragments arrive.  None when the result is not fully
+        block-backed (callers fall back to the dict fold)."""
+        if np is None or not self._columnar or not self._block_records:
+            return None
+        cached = self._obs_index
+        if cached is not None and cached[0] == len(self._block_records):
+            return cached[1]
+        index = ObservationIndex(
+            [best for _origin, best, _offered in self._block_records],
+            [offered for _origin, _best, offered in self._block_records])
+        self._obs_index = (len(self._block_records), index)
+        return index
+
+    def _origin_positions(self) -> Tuple[Optional[Dict[int, int]], bool]:
+        """Origin -> block-record position, plus whether the records
+        align 1:1 with ``origins()`` order.  The mapping is None when an
+        origin was recorded twice (no unique position exists)."""
+        key = (len(self._block_records), len(self._origins))
+        cached = self._origin_pos
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2]
+        positions: Optional[Dict[int, int]] = {}
+        for pos, (origin, _best, _offered) in enumerate(self._block_records):
+            if origin in positions:
+                positions = None
+                break
+            positions[origin] = pos
+        aligned = positions is not None and \
+            list(positions) == list(self._origins)
+        self._origin_pos = (key, positions, aligned)
+        return positions, aligned
+
     def best_route(self, observer_asn: int, origin_asn: int) -> Optional[PropagatedRoute]:
         """Best route held by *observer_asn* towards *origin_asn*."""
+        index = self._observation_index()
+        if index is not None:
+            positions, _aligned = self._origin_positions()
+            if positions is not None:
+                pos = positions.get(origin_asn)
+                if pos is None:
+                    return None
+                row = index.best_row(observer_asn, pos)
+                if row is None:
+                    return None
+                return self._block_records[pos][1].route(row)
         self._ensure_indexed()
         return self._best.get(observer_asn, {}).get(origin_asn)
 
@@ -327,21 +447,56 @@ class PropagationResult:
         not fully block-backed (callers then fall back to the object
         API).
         """
-        if not self._columnar or not self._block_records:
+        index = self._observation_index()
+        if index is None:
             return None
-        cached = self._observer_rows
-        if cached is None or cached[0] != len(self._block_records):
-            rows_of: Dict[int, List[Tuple[int, RouteBlock, int]]] = {}
-            for origin, best, _offered in self._block_records:
-                for row, asn in enumerate(best.asn_list()):
-                    rows_of.setdefault(asn, []).append((origin, best, row))
-            cached = self._observer_rows = (len(self._block_records), rows_of)
-        return cached[1].get(observer_asn, ())
+        records = self._block_records
+        return [(records[pos][0], records[pos][1], row)
+                for pos, row in index.best_refs(observer_asn)]
+
+    def observation_groups_at(self, observer_asn: int):
+        """The observer's full view as columnar groups, one per origin.
+
+        Returns ``(origin_asn, block, rows)`` triples in origin
+        recording order — ``rows`` indexes *block* and is sorted the
+        way :meth:`all_paths` sorts, so ``rows[0]`` is the group's best
+        path.  Groups come from the offered block where the observer
+        holds offered routes, with the same best-route fallback as
+        ``all_paths``.  None when the result is not fully block-backed
+        or block records don't map 1:1 onto ``origins()`` (callers
+        fall back to the object API).
+        """
+        index = self._observation_index()
+        if index is None:
+            return None
+        positions, aligned = self._origin_positions()
+        if positions is None or not aligned:
+            return None
+        records = self._block_records
+        groups = []
+        for pos, rows, from_offers in index.merged_groups(observer_asn):
+            origin, best, offered = records[pos]
+            groups.append((origin, offered if from_offers else best, rows))
+        return groups
 
     def all_paths(self, observer_asn: int, origin_asn: int) -> List[PropagatedRoute]:
         """All candidate routes offered to *observer_asn* for *origin_asn*
         (best first).  Falls back to the best route only when alternatives
         were not recorded for this observer."""
+        index = self._observation_index()
+        if index is not None:
+            positions, _aligned = self._origin_positions()
+            if positions is not None:
+                pos = positions.get(origin_asn)
+                if pos is None:
+                    return []
+                rows = index.offered_rows(observer_asn, pos)
+                if rows is not None:
+                    offered = self._block_records[pos][2]
+                    return [offered.route(row) for row in rows]
+                row = index.best_row(observer_asn, pos)
+                return [self._block_records[pos][1].route(row)] \
+                    if row is not None else []
         self._ensure_indexed()
         alternatives = self._alternatives.get(observer_asn, {}).get(origin_asn)
         if alternatives:
@@ -390,6 +545,21 @@ class PropagationResult:
             his = (packed & np.uint64(0xFFFFFFFF)).astype(np.int64).tolist()
             links.update(zip(los, his))
         return links
+
+    def __getstate__(self):
+        # The observation index and origin-position caches are cheap to
+        # rebuild and would otherwise bloat persisted/shipped artifacts.
+        state = self.__dict__.copy()
+        state["_obs_index"] = None
+        state["_origin_pos"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        state.setdefault("_obs_index", None)
+        state.setdefault("_origin_pos", None)
+        # Dropped cache of pre-index versions of this class.
+        state.pop("_observer_rows", None)
+        self.__dict__.update(state)
 
 
 class PropagationEngine:

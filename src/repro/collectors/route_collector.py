@@ -42,6 +42,25 @@ class RouteCollector:
         for vantage_point in self.vantage_points:
             yield from vantage_point.exported_routes(propagation, timestamp)
 
+    def export_rows(self, propagation: PropagationResult, table):
+        """Columnar :meth:`table_dump`: every vantage point's feed as
+        parallel ``(peers, prefix_ids, path_ids, bag_ids)`` columns
+        interned into *table*, in dump order.  None when any vantage
+        point cannot export columns (callers fall back to objects)."""
+        peers: List[int] = []
+        prefix_ids: List[int] = []
+        path_ids: List[int] = []
+        bag_ids: List[int] = []
+        for vantage_point in self.vantage_points:
+            rows = vantage_point.export_rows(propagation, table)
+            if rows is None:
+                return None
+            peers.extend(rows[0])
+            prefix_ids.extend(rows[1])
+            path_ids.extend(rows[2])
+            bag_ids.extend(rows[3])
+        return peers, prefix_ids, path_ids, bag_ids
+
     def visible_as_links(self, propagation: PropagationResult) -> Set[Tuple[int, int]]:
         """AS links visible in the collector's dump (plus the VP-collector
         adjacency is excluded, as in real topology extractions)."""

@@ -80,6 +80,42 @@ class VantagePoint:
                 ))
         return entries
 
+    def export_rows(self, propagation: PropagationResult, table):
+        """Columnar :meth:`exported_routes`: intern this feed into a
+        :class:`~repro.collectors.archive.RibEntryTable` and return the
+        parallel ``(peers, prefix_ids, path_ids, bag_ids)`` row columns,
+        in exactly the order ``exported_routes`` emits entries.
+
+        Returns None when the propagation result is not block-backed —
+        the archive then falls back to the object collect.
+        """
+        columns = getattr(propagation, "iter_best_columns_at", None)
+        triples = columns(self.asn) if columns is not None else None
+        if triples is None:
+            return None
+        full = self.feed_type is FeedType.FULL
+        asn = self.asn
+        peers: List[int] = []
+        prefix_ids: List[int] = []
+        path_ids: List[int] = []
+        bag_ids: List[int] = []
+        for origin, block, row in triples:
+            if not full and block.provenance_at(row) > CLASS_CUSTOMER:
+                continue
+            spec = propagation.origin_spec(origin)
+            prefixes = spec.prefixes
+            if not prefixes:
+                continue
+            path_id = table.intern_path_tuple(block.path(row))
+            bag_id = table.intern_bag(block.communities_at(row))
+            for prefix in prefixes:
+                prefix_ids.append(table.intern_prefix(prefix))
+            count = len(prefixes)
+            peers.extend([asn] * count)
+            path_ids.extend([path_id] * count)
+            bag_ids.extend([bag_id] * count)
+        return peers, prefix_ids, path_ids, bag_ids
+
     def _exports(self, route: PropagatedRoute) -> bool:
         if self.feed_type is FeedType.FULL:
             return True

@@ -201,10 +201,12 @@ def extract_passive_planes(
     # (ixp name, setter ASN, policy id).
     skeletons: Dict[Tuple[Tuple[int, ...], FrozenSet], Optional[Tuple]] = {}
     # Identity layer over the value memo: columnar propagation shares
-    # one ASPath/bag object per (origin, observer) across prefixes, so
-    # the common repeat resolves on two id() lookups without hashing
-    # the path tuple.  Safe because *entries* holds every keyed object
-    # alive for the whole pass (ids cannot be reused).
+    # one ASPath/bag object per (origin, observer) across prefixes, and
+    # the archive's RibEntryTable value-interns paths/bags so *every*
+    # entry with the same path shares one object — the common repeat
+    # resolves on two id() lookups without hashing the path tuple.
+    # Safe because *entries* holds every keyed object alive for the
+    # whole pass (ids cannot be reused).
     id_skeletons: Dict[Tuple[int, int], Optional[Tuple]] = {}
     for entry in entries:
         ident = (id(entry.as_path), id(entry.communities))

@@ -139,6 +139,14 @@ class ASLookingGlass:
         self.name = name or f"AS{asn}-lg"
         self.counter = LGQueryCounter(max_queries)
         self._routes: Dict[Prefix, List[LGRoute]] = {}
+        #: bulk loads awaiting materialisation: (prefixes, block, rows)
+        #: groups in load order.  Routes for a prefix materialise on the
+        #: first query for that prefix, so building a large validation
+        #: LG costs one list append per origin, not one LGRoute per
+        #: (route, prefix) pair.
+        self._groups: List[Tuple[Tuple[Prefix, ...], object, List[int]]] = []
+        self._group_index: Optional[Dict[Prefix, List[int]]] = None
+        self._view_cache: Dict[Prefix, List[LGRoute]] = {}
         #: monotonic mutation counter, bumped whenever the view changes;
         #: caches keyed on this LG's view validate against it.
         self.version = 0
@@ -147,8 +155,73 @@ class ASLookingGlass:
 
     def load_route(self, route: LGRoute) -> None:
         """Add one route to the LG's view."""
+        if self._groups:
+            self._flush_groups()
         self._routes.setdefault(route.prefix, []).append(route)
         self.version += 1
+
+    def load_route_blocks(self, prefixes: Sequence[Prefix], block,
+                          rows: Sequence[int]) -> None:
+        """Bulk-load one origin's candidate routes for *prefixes*.
+
+        *rows* index a :class:`~repro.runtime.fragments.RouteBlock` in
+        ``all_paths`` order — the first row is displayed as the best
+        path.  Equivalent to ``load_route(LGRoute(...))`` per (row,
+        prefix) pair, but the LGRoutes only materialise when a prefix
+        is actually queried.
+        """
+        if not prefixes or not rows:
+            return
+        self._groups.append((tuple(prefixes), block, list(rows)))
+        self._group_index = None
+        self._view_cache.clear()
+        self.version += 1
+
+    def _expand_group(self, prefix: Prefix, block,
+                      rows: Sequence[int]) -> List[LGRoute]:
+        """One group's LGRoutes for *prefix* (first row is best)."""
+        return [LGRoute(prefix=prefix,
+                        as_path=block.path(row),
+                        communities=block.communities_at(row),
+                        best=(index == 0),
+                        learned_from=block.learned_from_at(row))
+                for index, row in enumerate(rows)]
+
+    def _flush_groups(self) -> None:
+        """Materialise every pending bulk load into the eager view.
+
+        Called when eager-view operations (``load_route``,
+        ``mark_best_paths``) interleave with bulk loads; per-prefix
+        route order is exactly the order route-by-route loading would
+        have produced.
+        """
+        groups, self._groups = self._groups, []
+        self._group_index = None
+        self._view_cache.clear()
+        for prefixes, block, rows in groups:
+            for prefix in prefixes:
+                bucket = self._routes.setdefault(prefix, [])
+                bucket.extend(self._expand_group(prefix, block, rows))
+
+    def _view_for(self, prefix: Prefix) -> List[LGRoute]:
+        """The full (eager + pending-group) route list for *prefix*."""
+        if not self._groups:
+            return self._routes.get(prefix, [])
+        cached = self._view_cache.get(prefix)
+        if cached is None:
+            index = self._group_index
+            if index is None:
+                index = self._group_index = {}
+                for group_id, (prefixes, _block, _rows) in \
+                        enumerate(self._groups):
+                    for name in prefixes:
+                        index.setdefault(name, []).append(group_id)
+            routes = list(self._routes.get(prefix, ()))
+            for group_id in index.get(prefix, ()):
+                _prefixes, block, rows = self._groups[group_id]
+                routes.extend(self._expand_group(prefix, block, rows))
+            cached = self._view_cache[prefix] = routes
+        return cached
 
     def load_routes(self, routes: Iterable[LGRoute]) -> None:
         """Add many routes to the LG's view."""
@@ -180,6 +253,8 @@ class ASLookingGlass:
     def mark_best_paths(self) -> None:
         """Recompute the best flag: the shortest path (then lowest first
         hop) per prefix is marked best, everything else non-best."""
+        if self._groups:
+            self._flush_groups()
         for prefix, routes in self._routes.items():
             if not routes:
                 continue
@@ -200,7 +275,12 @@ class ASLookingGlass:
 
     def prefixes(self) -> List[Prefix]:
         """Prefixes present in the LG's view (not a counted query)."""
-        return sorted(self._routes)
+        if not self._groups:
+            return sorted(self._routes)
+        names = set(self._routes)
+        for prefixes, _block, _rows in self._groups:
+            names.update(prefixes)
+        return sorted(names)
 
     def show_ip_bgp_prefix(self, prefix: Prefix) -> List[LGRoute]:
         """``show ip bgp <prefix>``: the paths this AS holds for *prefix*.
@@ -209,7 +289,7 @@ class ASLookingGlass:
         less-preferred paths cannot be confirmed through them.
         """
         self.counter.record("show ip bgp prefix")
-        routes = self._routes.get(prefix, [])
+        routes = self._view_for(prefix)
         if not routes:
             return []
         ordered = sorted(routes, key=lambda r: (not r.best, len(r.as_path)))

@@ -38,6 +38,7 @@ except ImportError:  # pragma: no cover - exercised via fragments_available
 __all__ = [
     "RouteBlock",
     "PathTable",
+    "ObservationIndex",
     "walk_paths",
     "intern_bags",
     "block_from_columns",
@@ -298,6 +299,12 @@ class RouteBlock:
         """The CLASS_* provenance of *row* as a python int."""
         return self._scalar_columns()[1][row]
 
+    def learned_from_at(self, row: int):
+        """The exporter ASN of *row* (None for locally originated),
+        decoded the way row views decode the ``learned_from`` column."""
+        exporter = self._scalar_columns()[2][row]
+        return exporter if exporter >= 0 else None
+
     def equivalent_to(self, other: "RouteBlock") -> bool:
         """Semantic row equality with *other*: same observers, paths,
         provenances, exporters and community bags, row for row.
@@ -366,6 +373,34 @@ class RouteBlock:
             )
         return route
 
+    def routes_list(self) -> List[object]:
+        """Every row view of the block, materialised in one pass.
+
+        Equivalent to ``[self.route(i) for i in range(len(self))]`` but
+        hoists the scalar-column lookups out of the per-row call; rows
+        already materialised by :meth:`route` are reused, and the cache
+        is shared both ways.
+        """
+        rows = self._rows
+        count = len(self.asn)
+        if rows is None:
+            rows = self._rows = [None] * count
+        if count and None in rows:
+            cls = _route_class()
+            asns, provs, learned, bags, offsets, values = self._scalar_columns()
+            bag_values = self.bag_values
+            for i in range(count):
+                if rows[i] is None:
+                    exporter = learned[i]
+                    rows[i] = cls(
+                        asn=asns[i],
+                        path=tuple(values[offsets[i]:offsets[i + 1]]),
+                        communities=bag_values[bags[i]],
+                        provenance=provs[i],
+                        learned_from=exporter if exporter >= 0 else None,
+                    )
+        return list(rows)
+
     def __len__(self) -> int:
         return len(self.asn)
 
@@ -402,6 +437,145 @@ class RouteBlock:
          self.bag_values) = state
         self._rows = None
         self._scalars = None
+
+
+class ObservationIndex:
+    """Per-(observer, origin-position) CSR index over recorded blocks.
+
+    Built once from the best/offered :class:`RouteBlock` pairs a
+    propagation recorded (one pair per origin, in recording order), it
+    answers the observation-plane queries — "which routes does observer
+    X hold, per origin" — straight from the columns, replacing the
+    per-route ``dict.setdefault`` fold of the object path.
+
+    Layout: both sides are the row-wise concatenation of every block's
+    columns plus a ``pos`` column (the block's position in recording
+    order, i.e. the origin's index).  The best side is stably sorted by
+    observer ASN, so each observer's rows appear in ``(pos, row)``
+    order.  The offered side is lexsorted by ``(asn, pos, provenance,
+    path length, learned_from)`` with ties keeping row order — exactly
+    the ``all_paths`` sort — and grouped into maximal ``(asn, pos)``
+    runs so one group IS one origin's sorted candidate list.
+    """
+
+    __slots__ = ("_b_asn", "_b_pos", "_b_row",
+                 "_o_row", "_g_asn", "_g_pos", "_g_start", "_g_end")
+
+    def __init__(self, best_blocks: Sequence[RouteBlock],
+                 offered_blocks: Sequence[RouteBlock]) -> None:
+        _require_numpy()
+        self._b_asn, self._b_pos, self._b_row = \
+            self._sorted_side(best_blocks, with_rank=False)
+        asn, pos, self._o_row = self._sorted_side(offered_blocks,
+                                                  with_rank=True)
+        count = len(asn)
+        if count:
+            change = np.nonzero((asn[1:] != asn[:-1])
+                                | (pos[1:] != pos[:-1]))[0] + 1
+            starts = np.concatenate(([0], change))
+            self._g_asn = asn[starts]
+            self._g_pos = pos[starts]
+            self._g_start = starts
+            self._g_end = np.concatenate((starts[1:], [count]))
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            self._g_asn = self._g_pos = empty
+            self._g_start = self._g_end = empty
+
+    @staticmethod
+    def _sorted_side(blocks, with_rank: bool):
+        """Concatenate one side's columns and sort by observer ASN.
+
+        Without *with_rank* the sort is a stable argsort (rows stay in
+        global ``(pos, row)`` order per observer); with it, rows are
+        additionally ranked by the ``all_paths`` key ``(provenance,
+        path length, learned_from or -1)`` within each ``(asn, pos)``
+        run, ties keeping recording order.
+        """
+        parts = [b for b in blocks if len(b.asn)]
+        if not parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        positions = [i for i, b in enumerate(blocks) if len(b.asn)]
+        asn = np.concatenate([b.asn for b in parts])
+        pos = np.repeat(np.asarray(positions, dtype=np.int64),
+                        [len(b.asn) for b in parts])
+        row = np.concatenate([np.arange(len(b.asn), dtype=np.int64)
+                              for b in parts])
+        if with_rank:
+            prov = np.concatenate([b.provenance for b in parts])
+            plen = np.concatenate([np.diff(b.path_offsets) for b in parts])
+            learned = np.concatenate([b.learned_from for b in parts])
+            # The object path sorts on ``route.learned_from or -1``:
+            # both None (encoded -1) and exporter 0 collapse to -1.
+            learned = np.where(learned == 0, -1, learned)
+            order = np.lexsort((learned, plen, prov, pos, asn))
+        else:
+            order = np.argsort(asn, kind="stable")
+        return asn[order], pos[order], row[order]
+
+    # -- queries -----------------------------------------------------------
+
+    def best_refs(self, observer: int) -> List[Tuple[int, int]]:
+        """``(pos, row)`` of the observer's best routes, recording order."""
+        lo = int(np.searchsorted(self._b_asn, observer, side="left"))
+        hi = int(np.searchsorted(self._b_asn, observer, side="right"))
+        return list(zip(self._b_pos[lo:hi].tolist(),
+                        self._b_row[lo:hi].tolist()))
+
+    def best_row(self, observer: int, pos: int):
+        """Best-route row for (observer, origin position), or None.
+
+        Multiple rows (never produced by the engines, but legal in a
+        hand-built block) resolve to the last one — matching the
+        last-write-wins dict fold of the object path.
+        """
+        lo = int(np.searchsorted(self._b_asn, observer, side="left"))
+        hi = int(np.searchsorted(self._b_asn, observer, side="right"))
+        index = lo + int(np.searchsorted(self._b_pos[lo:hi], pos,
+                                         side="right")) - 1
+        if index >= lo and self._b_pos[index] == pos:
+            return int(self._b_row[index])
+        return None
+
+    def offered_rows(self, observer: int, pos: int):
+        """Sorted candidate rows for (observer, origin position), or
+        None when the observer holds no offered route for that origin."""
+        lo = int(np.searchsorted(self._g_asn, observer, side="left"))
+        hi = int(np.searchsorted(self._g_asn, observer, side="right"))
+        index = lo + int(np.searchsorted(self._g_pos[lo:hi], pos))
+        if index < hi and self._g_pos[index] == pos:
+            return self._o_row[self._g_start[index]:
+                               self._g_end[index]].tolist()
+        return None
+
+    def merged_groups(self, observer: int):
+        """The observer's full view, one entry per origin holding routes.
+
+        Returns ``(pos, rows, from_offers)`` triples in origin recording
+        order: the sorted offered rows where any exist, else the single
+        best row — the same fallback ``all_paths`` applies.  The first
+        row of every group is the group's best path.
+        """
+        glo = int(np.searchsorted(self._g_asn, observer, side="left"))
+        ghi = int(np.searchsorted(self._g_asn, observer, side="right"))
+        blo = int(np.searchsorted(self._b_asn, observer, side="left"))
+        bhi = int(np.searchsorted(self._b_asn, observer, side="right"))
+        best_by_pos: dict = dict(zip(self._b_pos[blo:bhi].tolist(),
+                                     self._b_row[blo:bhi].tolist()))
+        o_row = self._o_row
+        starts = self._g_start
+        ends = self._g_end
+        groups = []
+        for index, pos in zip(range(glo, ghi),
+                              self._g_pos[glo:ghi].tolist()):
+            best_by_pos.pop(pos, None)
+            groups.append((pos, o_row[starts[index]:ends[index]].tolist(),
+                           True))
+        groups.extend((pos, [row], False)
+                      for pos, row in best_by_pos.items())
+        groups.sort(key=lambda group: group[0])
+        return groups
 
 
 def block_from_columns(asns, provenance, learned_from, pids, bag_ids,

@@ -645,22 +645,34 @@ def _build_validation_lgs_and_peeringdb(
                             name=f"AS{asn}-lg")
         # Load the AS's BGP view from the propagation result: every offered
         # path (its Adj-RIB-In) when recorded, the best path otherwise.
-        for origin in propagation.origins():
-            routes = propagation.all_paths(asn, origin)
-            if not routes:
-                continue
-            spec = propagation.origin_spec(origin)
-            best_key = min(range(len(routes)), key=lambda i: (
-                routes[i].provenance, len(routes[i].path)))
-            for index, route in enumerate(routes):
-                for prefix in spec.prefixes:
-                    lg.load_route(LGRoute(
-                        prefix=prefix,
-                        as_path=route.path,
-                        communities=route.communities,
-                        best=(index == best_key),
-                        learned_from=route.learned_from,
-                    ))
+        groups = propagation.observation_groups_at(asn)
+        if groups is not None:
+            # Columnar fast path: one bulk load per origin, straight
+            # from the route-block columns.  Group rows arrive in
+            # ``all_paths`` order, whose head minimises (provenance,
+            # path length) — i.e. rows[0] is exactly the object loop's
+            # ``best_key`` route.
+            for origin, block, rows in groups:
+                prefixes = propagation.origin_spec(origin).prefixes
+                if prefixes:
+                    lg.load_route_blocks(prefixes, block, rows)
+        else:
+            for origin in propagation.origins():
+                routes = propagation.all_paths(asn, origin)
+                if not routes:
+                    continue
+                spec = propagation.origin_spec(origin)
+                best_key = min(range(len(routes)), key=lambda i: (
+                    routes[i].provenance, len(routes[i].path)))
+                for index, route in enumerate(routes):
+                    for prefix in spec.prefixes:
+                        lg.load_route(LGRoute(
+                            prefix=prefix,
+                            as_path=route.path,
+                            communities=route.communities,
+                            best=(index == best_key),
+                            learned_from=route.learned_from,
+                        ))
         validation_lgs.append(lg)
         peeringdb.add_looking_glass(asn, f"https://lg.as{asn}.example.net",
                                     display_all_paths=display_all)

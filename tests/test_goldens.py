@@ -39,6 +39,53 @@ def links_digest(links) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def json_digest(payload) -> str:
+    """sha256 over canonical JSON of an arbitrary payload."""
+    encoded = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def entry_rows(entries):
+    """Canonical order-sensitive JSON rows for a RIB entry list."""
+    return [[entry.peer_asn, str(entry.prefix), list(entry.as_path.asns),
+             sorted(c.value for c in entry.communities),
+             entry.collector, entry.timestamp]
+            for entry in entries]
+
+
+def lg_rows(lg):
+    """Canonical order-sensitive query table of a looking glass; resets
+    the query counter so the pin itself never perturbs cost analyses."""
+    rows = []
+    for prefix in lg.prefixes():
+        for route in lg.show_ip_bgp_prefix(prefix):
+            rows.append([str(prefix), list(route.as_path),
+                         sorted(c.value for c in route.communities),
+                         route.best, route.learned_from])
+    lg.counter.reset()
+    return rows
+
+
+def observation_pins(run) -> dict:
+    """Digests freezing the observation plane: the archive's entry lists
+    (raw + stable + clean-stable, byte-exact including order) and every
+    validation LG's full query table."""
+    archive = run.artifact("collectors")["archive"]
+    validation_lgs = run.artifact("viewpoints")["validation_lgs"]
+    all_rows = entry_rows(archive.all_entries())
+    return {
+        "num_entries": len(all_rows),
+        "entries_sha256": json_digest(all_rows),
+        "stable_sha256": json_digest(entry_rows(archive.stable_entries())),
+        "clean_stable_sha256": json_digest(
+            entry_rows(archive.clean_stable_entries())),
+        "num_validation_lgs": len(validation_lgs),
+        "validation_lgs_sha256": json_digest(
+            [[lg.asn, lg.display_all_paths, lg_rows(lg)]
+             for lg in validation_lgs]),
+    }
+
+
 def build_golden(name: str) -> dict:
     """One scenario's golden payload, regenerated from scratch.
 
@@ -61,6 +108,8 @@ def build_golden(name: str) -> dict:
                        for row in run.table2()],
         }
     reference = per_backend[INFERENCE_BACKENDS[0]]
+    pin_run = ScenarioRun(spec.config(GOLDEN_SIZE), scenario=name,
+                          cache=cache)
     return {
         "scenario": name,
         "size": GOLDEN_SIZE,
@@ -68,6 +117,7 @@ def build_golden(name: str) -> dict:
         "links_sha256": reference["links_sha256"],
         "links": reference["links"],
         "table2": reference["table2"],
+        "observation": observation_pins(pin_run),
         "inference_backends": {
             backend: {"num_links": payload["num_links"],
                       "links_sha256": payload["links_sha256"],
@@ -98,6 +148,8 @@ def test_scenario_matches_golden(name, request):
         f"({fresh['num_links']} vs {golden['num_links']} links)")
     assert fresh["links"] == golden["links"]
     assert fresh["table2"] == golden["table2"]
+    assert fresh["observation"] == golden["observation"], (
+        f"{name}: archive entry lists or validation LG tables diverged")
     assert fresh["inference_backends"] == golden["inference_backends"], (
         f"{name}: per-inference-backend pins diverged")
     # The backends are required to be bit-identical to each other, not
